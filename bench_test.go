@@ -1,0 +1,542 @@
+package tagdm
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6), plus ablations of the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure pairs share runs: Figure 3/4 are the time/quality of the same
+// Problem 1-3 executions, 5/6 of Problems 4-6, 7/8 of the tuple sweep.
+// Absolute times are hardware-specific; the reproduction target is the
+// ordering (Exact >> DV-FDP >= SM-LSH) and the quality parity recorded in
+// EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"bytes"
+	"tagdm/internal/core"
+	"tagdm/internal/datagen"
+	"tagdm/internal/experiments"
+	"tagdm/internal/fdp"
+
+	"tagdm/internal/incremental"
+	"tagdm/internal/lda"
+	"tagdm/internal/lsh"
+	"tagdm/internal/model"
+	"tagdm/internal/query"
+	"tagdm/internal/signature"
+	"tagdm/internal/store"
+	"tagdm/internal/userstudy"
+	"tagdm/internal/vec"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *experiments.Setup
+	benchExact *core.Engine
+)
+
+// benchWorld builds one shared pipeline for all benchmarks: the FastConfig
+// corpus (1.5K actions, ~100 groups) keeps `go test -bench=.` minutes-scale;
+// cmd/tagdm-bench -scale paper covers the full-size runs.
+func benchWorld(b *testing.B) (*experiments.Setup, *core.Engine) {
+	b.Helper()
+	benchOnce.Do(func() {
+		st, err := experiments.Build(experiments.FastConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSetup = st
+		benchExact, err = st.ExactEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if benchSetup == nil {
+		b.Fatal("bench setup failed earlier")
+	}
+	return benchSetup, benchExact
+}
+
+func benchSpec(b *testing.B, st *experiments.Setup, id int) core.ProblemSpec {
+	b.Helper()
+	p := experiments.PaperParams()
+	spec, err := core.PaperProblem(id, p.K, int(p.SupportPct*float64(st.Store.Len())), p.Q, p.R)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// --- Figures 3 and 4: Problems 1-3, Exact vs SM-LSH-Fi vs SM-LSH-Fo ---
+
+func benchExactRun(b *testing.B, id int) {
+	st, ex := benchWorld(b)
+	spec := benchSpec(b, st, id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exact(spec, core.ExactOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSMLSH(b *testing.B, id int, mode core.ConstraintMode) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, id)
+	p := experiments.PaperParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: int64(i), Mode: mode}
+		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Problem1Exact(b *testing.B)   { benchExactRun(b, 1) }
+func BenchmarkFig3Problem1SMLSHFi(b *testing.B) { benchSMLSH(b, 1, core.Filter) }
+func BenchmarkFig3Problem1SMLSHFo(b *testing.B) { benchSMLSH(b, 1, core.Fold) }
+func BenchmarkFig3Problem2Exact(b *testing.B)   { benchExactRun(b, 2) }
+func BenchmarkFig3Problem2SMLSHFi(b *testing.B) { benchSMLSH(b, 2, core.Filter) }
+func BenchmarkFig3Problem2SMLSHFo(b *testing.B) { benchSMLSH(b, 2, core.Fold) }
+func BenchmarkFig3Problem3Exact(b *testing.B)   { benchExactRun(b, 3) }
+func BenchmarkFig3Problem3SMLSHFi(b *testing.B) { benchSMLSH(b, 3, core.Filter) }
+func BenchmarkFig3Problem3SMLSHFo(b *testing.B) { benchSMLSH(b, 3, core.Fold) }
+
+// BenchmarkFig4Quality records the quality metric of Figures 4 alongside
+// timing: the objective (avg pairwise tag cosine) per algorithm, reported
+// via b.ReportMetric so `-bench` output carries the quality series.
+func BenchmarkFig4Quality(b *testing.B) {
+	st, ex := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		for id := 1; id <= 3; id++ {
+			spec := benchSpec(b, st, id)
+			exRes, err := ex.Exact(spec, core.ExactOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			app, err := st.Engine.SMLSH(spec, core.LSHOptions{Seed: 1, Mode: core.Fold})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if id == 1 {
+				b.ReportMetric(exRes.Objective, "exact-quality")
+				b.ReportMetric(app.Objective, "lsh-quality")
+			}
+		}
+	}
+}
+
+// --- Figures 5 and 6: Problems 4-6, Exact vs DV-FDP-Fi vs DV-FDP-Fo ---
+
+func benchDVFDP(b *testing.B, id int, mode core.ConstraintMode) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: mode}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Problem4Exact(b *testing.B)   { benchExactRun(b, 4) }
+func BenchmarkFig5Problem4DVFDPFi(b *testing.B) { benchDVFDP(b, 4, core.Filter) }
+func BenchmarkFig5Problem4DVFDPFo(b *testing.B) { benchDVFDP(b, 4, core.Fold) }
+func BenchmarkFig5Problem5Exact(b *testing.B)   { benchExactRun(b, 5) }
+func BenchmarkFig5Problem5DVFDPFi(b *testing.B) { benchDVFDP(b, 5, core.Filter) }
+func BenchmarkFig5Problem5DVFDPFo(b *testing.B) { benchDVFDP(b, 5, core.Fold) }
+func BenchmarkFig5Problem6Exact(b *testing.B)   { benchExactRun(b, 6) }
+func BenchmarkFig5Problem6DVFDPFi(b *testing.B) { benchDVFDP(b, 6, core.Filter) }
+func BenchmarkFig5Problem6DVFDPFo(b *testing.B) { benchDVFDP(b, 6, core.Fold) }
+
+// BenchmarkFig6Quality reports the diversity quality series of Figure 6.
+func BenchmarkFig6Quality(b *testing.B) {
+	st, ex := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		spec := benchSpec(b, st, 6)
+		exRes, err := ex.Exact(spec, core.ExactOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exRes.Objective, "exact-quality")
+		b.ReportMetric(app.Objective, "fdp-quality")
+	}
+}
+
+// --- Figures 7 and 8: execution time and quality vs number of tuples ---
+
+func benchBin(b *testing.B, frac float64, problem int) {
+	st, _ := benchWorld(b)
+	bin, err := st.BinSetup(int(frac * float64(st.Store.Len())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := benchSpec(b, bin, problem)
+	p := experiments.PaperParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if problem == 1 {
+			_, err = bin.Engine.SMLSH(spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: 1, Mode: core.Fold})
+		} else {
+			_, err = bin.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Bin15pctProblem1(b *testing.B) { benchBin(b, 0.15, 1) }
+func BenchmarkFig7Bin30pctProblem1(b *testing.B) { benchBin(b, 0.30, 1) }
+func BenchmarkFig7Bin60pctProblem1(b *testing.B) { benchBin(b, 0.60, 1) }
+func BenchmarkFig7Bin90pctProblem1(b *testing.B) { benchBin(b, 0.90, 1) }
+func BenchmarkFig7Bin15pctProblem6(b *testing.B) { benchBin(b, 0.15, 6) }
+func BenchmarkFig7Bin30pctProblem6(b *testing.B) { benchBin(b, 0.30, 6) }
+func BenchmarkFig7Bin60pctProblem6(b *testing.B) { benchBin(b, 0.60, 6) }
+func BenchmarkFig7Bin90pctProblem6(b *testing.B) { benchBin(b, 0.90, 6) }
+
+// --- Figure 9: the simulated user study ---
+
+func BenchmarkFig9UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := userstudy.Run(userstudy.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 1-2: tag cloud generation ---
+
+func BenchmarkFig1TagClouds(b *testing.B) {
+	st, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := experiments.TagClouds(st, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationLSHTables varies the number of hash tables l.
+func BenchmarkAblationLSHTables1(b *testing.B) { benchLSHTables(b, 1) }
+func BenchmarkAblationLSHTables2(b *testing.B) { benchLSHTables(b, 2) }
+func BenchmarkAblationLSHTables4(b *testing.B) { benchLSHTables(b, 4) }
+
+func benchLSHTables(b *testing.B, l int) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.LSHOptions{DPrime: 10, L: l, Seed: 1, Mode: core.Fold}
+		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLSHDPrime varies the initial hyperplane count d'.
+func BenchmarkAblationLSHDPrime5(b *testing.B)  { benchLSHDPrime(b, 5) }
+func BenchmarkAblationLSHDPrime10(b *testing.B) { benchLSHDPrime(b, 10) }
+func BenchmarkAblationLSHDPrime20(b *testing.B) { benchLSHDPrime(b, 20) }
+
+func benchLSHDPrime(b *testing.B, dprime int) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.LSHOptions{DPrime: dprime, L: 1, Seed: 1, Mode: core.Fold}
+		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRelaxation compares Algorithm 1's binary-search
+// relaxation against a single fixed-d' pass.
+func BenchmarkAblationRelaxationOn(b *testing.B)  { benchRelaxation(b, false) }
+func BenchmarkAblationRelaxationOff(b *testing.B) { benchRelaxation(b, true) }
+
+func benchRelaxation(b *testing.B, disable bool) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.LSHOptions{DPrime: 30, L: 1, Seed: 1, Mode: core.Fold, DisableRelaxation: disable}
+		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFoldVsFilter contrasts the two constraint modes on the
+// same diversity problem.
+func BenchmarkAblationFDPFold(b *testing.B)   { benchDVFDP(b, 6, core.Fold) }
+func BenchmarkAblationFDPFilter(b *testing.B) { benchDVFDP(b, 6, core.Filter) }
+
+// BenchmarkAblationFDPSeed compares the max-edge seed of Algorithm 2
+// against an arbitrary fixed seed pair.
+func BenchmarkAblationFDPSeedMaxEdge(b *testing.B) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFDPSeedFixed(b *testing.B) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold, FixedSeed: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMatrix compares the paper's precomputed n x n distance
+// matrix against lazy distance evaluation.
+func BenchmarkAblationMatrixPrecomputed(b *testing.B) {
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold, Precompute: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMatrixLazy(b *testing.B) { benchDVFDP(b, 4, core.Fold) }
+
+// BenchmarkAblationSignature compares the three summarizers' costs.
+func BenchmarkAblationSignatureFrequency(b *testing.B) {
+	st, _ := benchWorld(b)
+	sum := signature.NewFrequency(st.Store)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signature.SummarizeAll(sum, st.Store, st.Groups)
+	}
+}
+
+func BenchmarkAblationSignatureTFIDF(b *testing.B) {
+	st, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := signature.FitTFIDF(st.Store, st.Groups)
+		signature.SummarizeAll(sum, st.Store, st.Groups)
+	}
+}
+
+func BenchmarkAblationSignatureLDAInfer(b *testing.B) {
+	st, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signature.SummarizeAll(st.LDA, st.Store, st.Groups)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkSubstrateLDATrain(b *testing.B) {
+	st, _ := benchWorld(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := signature.TrainLDA(st.Store, st.Groups, 8, 40, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateLSHBuild(b *testing.B) {
+	st, _ := benchWorld(b)
+	vectors := make([][]float64, len(st.Sigs))
+	for i, s := range st.Sigs {
+		vectors[i] = s.Weights
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lsh.Build(vectors, lsh.Params{DPrime: 10, L: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateFDPGreedy(b *testing.B) {
+	st, _ := benchWorld(b)
+	n := len(st.Sigs)
+	dist := func(i, j int) float64 {
+		return vec.CosineDistance(st.Sigs[i].Weights, st.Sigs[j].Weights)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fdp.MaxAvg(n, 3, dist, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateGibbsSweep(b *testing.B) {
+	// One LDA training sweep over a fixed corpus, isolating sampler cost.
+	docs := make([]lda.Document, 50)
+	for d := range docs {
+		doc := make(lda.Document, 40)
+		for i := range doc {
+			doc[i] = (d*7 + i) % 200
+		}
+		docs[d] = doc
+	}
+	corpus := lda.Corpus{Docs: docs, VocabSize: 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lda.Train(corpus, lda.Config{Topics: 8, Iterations: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benchmarks: parallel exact, incremental inserts, queries,
+// persistence ---
+
+func BenchmarkExactSerial(b *testing.B) {
+	_, ex := benchWorld(b)
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exact(spec, core.ExactOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactParallel(b *testing.B) {
+	_, ex := benchWorld(b)
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exact(spec, core.ExactOptions{Parallel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalInsert measures per-insert maintenance cost
+// (store append + group routing) without signature refresh.
+func BenchmarkIncrementalInsert(b *testing.B) {
+	cfg := datagen.Small()
+	world, err := datagen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := store.New(world.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := incremental.New(world.Dataset, 5, signature.NewFrequency(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := world.Dataset.Vocab.ID("tag-00-0000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := model.TaggingAction{
+			User: int32(i % cfg.Users),
+			Item: int32(i % cfg.Items),
+			Tags: []model.TagID{tag},
+		}
+		if err := m.Insert(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalRefresh measures the cost of re-summarizing after a
+// batch of 100 inserts, amortized.
+func BenchmarkIncrementalRefresh(b *testing.B) {
+	cfg := datagen.Small()
+	world, err := datagen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := store.New(world.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := incremental.New(world.Dataset, 5, signature.NewFrequency(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := world.Dataset.Vocab.ID("tag-00-0000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			a := model.TaggingAction{
+				User: int32((i*100 + j) % cfg.Users),
+				Item: int32((i*100 + j) % cfg.Items),
+				Tags: []model.TagID{tag},
+			}
+			if err := m.Insert(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryParse(b *testing.B) {
+	const q = "ANALYZE MAXIMIZE diversity(tags), diversity(users) * 0.5 SUBJECT TO similarity(items) >= 0.4 WHERE gender=male AND state=CA WITH k=4, support=1%"
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisSaveLoad(b *testing.B) {
+	ds, err := GenerateDataset(SmallGenerateConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadAnalysis(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKSweepK4(b *testing.B) {
+	st, _ := benchWorld(b)
+	p := experiments.PaperParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.KSweep(st, p, []int{4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command tagdm-bench regenerates the paper's evaluation artifacts: the
+// tag clouds of Figures 1-2, the execution-time and quality comparisons of
+// Figures 3-6, the tuple-count sweep of Figures 7-8, the simulated user
+// study of Figure 9, and the Table 1 / Table 2 summaries.
+//
+// Usage:
+//
+//	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
+//
+// With -all (the default when no selector is given) every artifact is
+// produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
+// and quality); likewise 5 covers 6, and 7 covers 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tagdm/internal/core"
+	"tagdm/internal/datagen"
+	"tagdm/internal/experiments"
+	"tagdm/internal/userstudy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm-bench: ")
+	scale := flag.String("scale", "fast", "corpus scale: fast or paper")
+	fig := flag.Int("fig", 0, "regenerate one figure pair (1, 3, 5, 7 or 9)")
+	table := flag.Int("table", 0, "print one table (1 or 2)")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps")
+	transfer := flag.Bool("transfer", false, "run the attribute-transfer experiment")
+	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep {
+		*all = true
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "fast":
+		cfg = experiments.FastConfig()
+	case "paper":
+		cfg = experiments.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q (want fast or paper)", *scale)
+	}
+
+	if *table == 1 || *all {
+		printTable1()
+	}
+	if *table == 2 || *all {
+		printTable2()
+	}
+	if *table != 0 && !*all && *fig == 0 {
+		return
+	}
+
+	needSetup := *all || *ablation || *ksweep || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
+	var st *experiments.Setup
+	if needSetup {
+		fmt.Fprintf(os.Stderr, "building %s pipeline (datagen + LDA)...\n", *scale)
+		var err error
+		st, err = experiments.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipeline ready: %d actions, %d groups\n\n",
+			st.Store.Len(), len(st.Groups))
+	}
+	p := experiments.PaperParams()
+
+	if *all || *fig == 1 {
+		allCloud, stateCloud, director, state, err := experiments.TagClouds(st, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== Figure 1: tag signature, director=%s, all users ==\n%s\n\n", director, allCloud)
+		fmt.Printf("== Figure 2: tag signature, director=%s, state=%s users ==\n%s\n\n", director, state, stateCloud)
+	}
+	if *all || *fig == 3 {
+		tab, err := experiments.SimilarityProblems(st, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if *all || *fig == 5 {
+		tab, err := experiments.DiversityProblems(st, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if *all || *fig == 7 {
+		tab, err := experiments.TupleSweep(st, p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if *all || *fig == 9 {
+		res, err := userstudy.Run(userstudy.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if *all || *ablation {
+		tab, err := experiments.Ablations(st, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if *all || *ksweep {
+		tab, err := experiments.KSweep(st, p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if *all || *transfer {
+		rep, err := experiments.Transfer(datagen.DefaultTransfer())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.Render())
+	}
+}
+
+func printTable1() {
+	fmt.Println("== Table 1: concrete TagDM problem instantiations ==")
+	fmt.Printf("%-4s %-12s %-12s %-12s %-6s %-4s\n", "ID", "User", "Item", "Tag", "C", "O")
+	for id := 1; id <= 6; id++ {
+		spec, err := core.PaperProblem(id, 3, 0, 0.5, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-12s %-12s %-12s %-6s %-4s\n",
+			id,
+			spec.Constraints[0].Meas, spec.Constraints[1].Meas,
+			spec.Objectives[0].Meas, "U,I", "T")
+	}
+	fmt.Println()
+}
+
+func printTable2() {
+	fmt.Println("== Table 2: TagDM problem solutions ==")
+	rows := [][3]string{
+		{"similarity", "LSH based", "fold similarity constraints, filter diversity constraints"},
+		{"diversity", "FDP based", "fold constraints (both kinds) into the greedy add"},
+	}
+	fmt.Printf("%-12s %-10s %s\n", "optimize", "algorithm", "constraint handling")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-10s %s\n", r[0], r[1], r[2])
+	}
+	fmt.Println()
+}

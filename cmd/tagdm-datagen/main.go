@@ -1,0 +1,61 @@
+// Command tagdm-datagen synthesizes a MovieLens-like tagging dataset and
+// writes it to stdout (or a file) in the line-oriented JSON format that
+// tagdm reads back, so the other tools can share one corpus.
+//
+// Usage:
+//
+//	tagdm-datagen [-scale small|paper] [-seed N] [-o dataset.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tagdm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm-datagen: ")
+	scale := flag.String("scale", "small", "corpus scale: small or paper")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var cfg tagdm.GenerateConfig
+	switch *scale {
+	case "small":
+		cfg = tagdm.SmallGenerateConfig()
+	case "paper":
+		cfg = tagdm.DefaultGenerateConfig()
+	default:
+		log.Fatalf("unknown scale %q (want small or paper)", *scale)
+	}
+	cfg.Seed = *seed
+
+	ds, err := tagdm.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := ds.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Fprintf(os.Stderr, "wrote %d users, %d items, %d actions, %d tags\n",
+		st.Users, st.Items, st.Actions, st.VocabSize)
+}

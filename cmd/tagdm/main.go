@@ -1,0 +1,180 @@
+// Command tagdm runs one TagDM mining problem over a dataset and prints the
+// groups it finds. The dataset is either loaded from a JSON file produced
+// by tagdm-datagen (or Dataset.WriteJSON) or synthesized on the fly.
+//
+// Usage:
+//
+//	tagdm [-data file.json] [-problem 1..6] [-k 3] [-support-pct 1]
+//	      [-q 0.5] [-r 0.5] [-within attr=value,attr=value]
+//	      [-signatures lda|tfidf|frequency] [-exact]
+//
+// Example: find diverse user sub-populations that agree on similar items
+// (Problem 3) among male users only:
+//
+//	tagdm -problem 3 -within gender=male
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"tagdm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm: ")
+	var (
+		dataFile   = flag.String("data", "", "dataset JSON file (default: synthesize a small corpus)")
+		problemID  = flag.Int("problem", 1, "Table 1 problem instance (1-6)")
+		k          = flag.Int("k", 3, "maximum number of groups to return")
+		supportPct = flag.Float64("support-pct", 1, "minimum group support as percent of tuples")
+		q          = flag.Float64("q", 0.5, "user-dimension constraint threshold")
+		r          = flag.Float64("r", 0.5, "item-dimension constraint threshold")
+		within     = flag.String("within", "", "comma-separated attr=value filter scoping the analysis")
+		sigMethod  = flag.String("signatures", "lda", "tag signature method: lda, tfidf or frequency")
+		topics     = flag.Int("topics", 25, "LDA topic count")
+		exact      = flag.Bool("exact", false, "run the exact brute force instead of the approximate algorithm")
+		seed       = flag.Int64("seed", 1, "seed for LDA and LSH")
+		queryStr   = flag.String("query", "", "run a query string instead of flags, e.g. 'ANALYZE PROBLEM 3 WHERE genre=drama WITH k=3, support=1%'")
+		repl       = flag.Bool("repl", false, "interactive mode: read one query per line from stdin")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := tagdm.Options{Topics: *topics, Seed: *seed}
+	switch *sigMethod {
+	case "lda":
+		opts.Signatures = tagdm.SignatureLDA
+	case "tfidf":
+		opts.Signatures = tagdm.SignatureTFIDF
+	case "frequency":
+		opts.Signatures = tagdm.SignatureFrequency
+	default:
+		log.Fatalf("unknown signature method %q", *sigMethod)
+	}
+	if *within != "" {
+		opts.Within = map[string]string{}
+		for _, kv := range strings.Split(*within, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				log.Fatalf("bad -within entry %q (want attr=value)", kv)
+			}
+			opts.Within[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+		}
+	}
+
+	if *repl {
+		runREPL(ds, opts, os.Stdin, os.Stdout)
+		return
+	}
+	if *queryStr != "" {
+		runQuery(ds, *queryStr, opts)
+		return
+	}
+
+	a, err := tagdm.NewAnalysis(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	support := int(*supportPct / 100 * float64(a.NumActions()))
+	spec, err := tagdm.Problem(*problemID, *k, support, *q, *r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s over %d groups (%d actions), support >= %d\n",
+		spec.Name, a.NumGroups(), a.NumActions(), support)
+
+	var res tagdm.Result
+	if *exact {
+		res, err = a.Exact(spec, tagdm.ExactOptions{})
+	} else {
+		res, err = a.Solve(spec)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("no feasible set of groups (null result)")
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm %s: objective %.4f, support %d, %s\n",
+		res.Algorithm, res.Objective, res.Support, res.Elapsed.Round(1000))
+	for i, desc := range a.Describe(res) {
+		fmt.Printf("  %s\n    tags: %s\n", desc, a.GroupCloud(res, i, 6))
+	}
+}
+
+func runQuery(ds *tagdm.Dataset, q string, opts tagdm.Options) {
+	a, res, err := tagdm.RunQuery(ds, q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("no feasible set of groups (null result)")
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm %s: objective %.4f, support %d, %s\n",
+		res.Algorithm, res.Objective, res.Support, res.Elapsed.Round(1000))
+	for i, desc := range a.Describe(res) {
+		fmt.Printf("  %s\n    tags: %s\n", desc, a.GroupCloud(res, i, 6))
+	}
+}
+
+// runREPL reads one query per line, executing each against the shared
+// dataset. Empty lines and lines starting with '#' are skipped; "quit"
+// exits. Errors are reported per query without terminating the session.
+func runREPL(ds *tagdm.Dataset, opts tagdm.Options, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, "tagdm> enter ANALYZE queries, one per line (quit to exit)")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for {
+		fmt.Fprint(out, "tagdm> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == "quit" || line == "exit":
+			return
+		}
+		a, res, err := tagdm.RunQuery(ds, line, opts)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
+		}
+		if !res.Found {
+			fmt.Fprintln(out, "no feasible set of groups (null result)")
+			continue
+		}
+		fmt.Fprintf(out, "algorithm %s: objective %.4f, support %d, %s\n",
+			res.Algorithm, res.Objective, res.Support, res.Elapsed.Round(1000))
+		for i, desc := range a.Describe(res) {
+			fmt.Fprintf(out, "  %s\n    tags: %s\n", desc, a.GroupCloud(res, i, 6))
+		}
+	}
+}
+
+func loadDataset(path string) (*tagdm.Dataset, error) {
+	if path == "" {
+		return tagdm.GenerateDataset(tagdm.SmallGenerateConfig())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tagdm.ReadDatasetJSON(f)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tagdm"
+)
+
+func replDataset(t *testing.T) *tagdm.Dataset {
+	t.Helper()
+	ds, err := tagdm.GenerateDataset(tagdm.SmallGenerateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunREPL(t *testing.T) {
+	ds := replDataset(t)
+	in := strings.NewReader(strings.Join([]string{
+		"# a comment line",
+		"",
+		"ANALYZE MAXIMIZE diversity(tags) WITH k=2, support=2%",
+		"this is not a query",
+		"quit",
+	}, "\n"))
+	var out bytes.Buffer
+	runREPL(ds, tagdm.Options{Signatures: tagdm.SignatureFrequency}, in, &out)
+	text := out.String()
+	if !strings.Contains(text, "algorithm DV-FDP") {
+		t.Fatalf("REPL did not answer the query:\n%s", text)
+	}
+	if !strings.Contains(text, "error:") {
+		t.Fatalf("REPL did not report the bad query:\n%s", text)
+	}
+	// The comment and the blank line must not produce errors.
+	if strings.Count(text, "error:") != 1 {
+		t.Fatalf("unexpected error count:\n%s", text)
+	}
+}
+
+func TestRunREPLEOF(t *testing.T) {
+	ds := replDataset(t)
+	var out bytes.Buffer
+	runREPL(ds, tagdm.Options{Signatures: tagdm.SignatureFrequency}, strings.NewReader(""), &out)
+	if !strings.Contains(out.String(), "tagdm>") {
+		t.Fatal("no prompt printed")
+	}
+}
+
+func TestLoadDatasetDefault(t *testing.T) {
+	ds, err := loadDataset("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Actions) == 0 {
+		t.Fatal("default dataset empty")
+	}
+	if _, err := loadDataset("/nonexistent/path.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package tagdm_test
+
+import (
+	"fmt"
+	"log"
+
+	"tagdm"
+)
+
+// Example mines the "who disagrees about the same thing?" question
+// (Table 1, Problem 4) on a tiny hand-built corpus: teen males and teen
+// females tag the same action movie with disjoint vocabularies, and the
+// framework surfaces exactly that contrast.
+func Example() {
+	ds := tagdm.NewDataset(
+		tagdm.NewSchema("gender", "age"),
+		tagdm.NewSchema("genre"),
+	)
+	male, _ := ds.AddUser(map[string]string{"gender": "male", "age": "teen"})
+	female, _ := ds.AddUser(map[string]string{"gender": "female", "age": "teen"})
+	movie, _ := ds.AddItem(map[string]string{"genre": "action"})
+	for i := 0; i < 5; i++ {
+		if err := ds.AddAction(male, movie, 0, "gun", "special effects"); err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.AddAction(female, movie, 0, "violence", "gory"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	a, err := tagdm.NewAnalysis(ds, tagdm.Options{Signatures: tagdm.SignatureFrequency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := tagdm.Problem(4, 2, 5, 0.4, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Solve(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("objective %.2f\n", res.Objective)
+	for _, desc := range a.Describe(res) {
+		fmt.Println(desc)
+	}
+	// Output:
+	// objective 1.00
+	// {gender=female, age=teen, genre=action}
+	// {gender=male, age=teen, genre=action}
+}
+
+// ExampleRunQuery shows the declarative query interface.
+func ExampleRunQuery() {
+	ds := tagdm.NewDataset(tagdm.NewSchema("gender"), tagdm.NewSchema("genre"))
+	m, _ := ds.AddUser(map[string]string{"gender": "male"})
+	f, _ := ds.AddUser(map[string]string{"gender": "female"})
+	movie, _ := ds.AddItem(map[string]string{"genre": "action"})
+	for i := 0; i < 5; i++ {
+		if err := ds.AddAction(m, movie, 0, "gun"); err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.AddAction(f, movie, 0, "gory"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	a, res, err := tagdm.RunQuery(ds,
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT TO similarity(items) >= 0.5 WITH k=2, support=10",
+		tagdm.Options{Signatures: tagdm.SignatureFrequency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found=%v support=%d groups=%d\n", res.Found, res.Support, a.NumGroups())
+	// Output:
+	// found=true support=10 groups=2
+}

@@ -1,0 +1,102 @@
+// Command quickstart is the smallest end-to-end TagDM run: build a tiny
+// hand-written dataset, mine a tag-similarity and a tag-diversity problem,
+// and print the describable groups the framework finds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagdm"
+)
+
+func main() {
+	ds := tagdm.NewDataset(
+		tagdm.NewSchema("gender", "age"),
+		tagdm.NewSchema("genre", "director"),
+	)
+
+	// Two user profiles, two items, strongly themed tags.
+	type userSpec struct{ gender, age string }
+	users := []userSpec{
+		{"male", "teen"}, {"male", "teen"},
+		{"female", "teen"}, {"female", "teen"},
+	}
+	var uids []int32
+	for _, u := range users {
+		id, err := ds.AddUser(map[string]string{"gender": u.gender, "age": u.age})
+		if err != nil {
+			log.Fatal(err)
+		}
+		uids = append(uids, id)
+	}
+	action, err := ds.AddItem(map[string]string{"genre": "action", "director": "cameron"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drama, err := ds.AddItem(map[string]string{"genre": "drama", "director": "cameron"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	add := func(u, i int32, tags ...string) {
+		if err := ds.AddAction(u, i, 0, tags...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Teen males tag the action movie with effects vocabulary...
+	for n := 0; n < 5; n++ {
+		add(uids[n%2], action, "gun", "special effects")
+	}
+	// ...teen females tag the same movie very differently...
+	for n := 0; n < 5; n++ {
+		add(uids[2+n%2], action, "violence", "gory")
+	}
+	// ...and both tag the drama alike.
+	for n := 0; n < 5; n++ {
+		add(uids[n%2], drama, "moving", "deep")
+		add(uids[2+n%2], drama, "moving", "tears")
+	}
+
+	a, err := tagdm.NewAnalysis(ds, tagdm.Options{
+		Signatures:     tagdm.SignatureFrequency,
+		MinGroupTuples: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d actions across %d describable groups\n\n",
+		a.NumActions(), a.NumGroups())
+
+	// Problem 4 of the paper: diverse users, similar items, maximally
+	// diverse tags — "who disagrees about the same thing?"
+	spec, err := tagdm.Problem(4, 2, 5, 0.4, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Solve(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): objective %.3f\n", spec.Name, res.Algorithm, res.Objective)
+	for i, desc := range a.Describe(res) {
+		fmt.Printf("  %s  tags: %s\n", desc, a.GroupCloud(res, i, 4))
+	}
+	fmt.Println()
+
+	// Problem 1: similar users, similar items, maximally similar tags —
+	// "who agrees about the same thing?" At this toy scale the exact
+	// brute force is instant, so use it for the provably optimal answer.
+	spec1, err := tagdm.Problem(1, 2, 5, 0.4, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1, err := a.Exact(spec1, tagdm.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): objective %.3f\n", spec1.Name, res1.Algorithm, res1.Objective)
+	for i, desc := range a.Describe(res1) {
+		fmt.Printf("  %s  tags: %s\n", desc, a.GroupCloud(res1, i, 4))
+	}
+}

@@ -1,0 +1,58 @@
+// Command recommend demonstrates a downstream application of the TagDM
+// pipeline: suggesting tags for a (user, item) pair from the tagging
+// behavior of the user's peer group, with backoff to item-profile peers
+// and the global distribution for cold profiles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagdm"
+)
+
+func main() {
+	ds, err := tagdm.GenerateDataset(tagdm.SmallGenerateConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := tagdm.NewAnalysis(ds, tagdm.Options{Signatures: tagdm.SignatureFrequency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := a.Recommender(ds)
+
+	// Suggest tags for the first few tagging-active (user, item) pairs,
+	// then for a pair that never interacted (backoff in action).
+	fmt.Println("suggestions for observed pairs:")
+	seen := map[[2]int32]bool{}
+	shown := 0
+	for _, act := range ds.Actions {
+		key := [2]int32{act.User, act.Item}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sugs, err := rec.Suggest(act.User, act.Item, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  user %d x item %d:", act.User, act.Item)
+		for _, s := range sugs {
+			fmt.Printf(" %s(%d,%s)", s.Tag, s.Count, s.Source)
+		}
+		fmt.Println()
+		if shown++; shown == 5 {
+			break
+		}
+	}
+
+	fmt.Println("\nsuggestion for an unobserved pair (backoff):")
+	sugs, err := rec.Suggest(int32(len(ds.Users)-1), int32(len(ds.Items)-1), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sugs {
+		fmt.Printf("  %s (count %d, source %s)\n", s.Tag, s.Count, s.Source)
+	}
+}

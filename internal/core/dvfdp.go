@@ -1,0 +1,373 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tagdm/internal/fdp"
+	"tagdm/internal/groups"
+	"tagdm/internal/mining"
+	"tagdm/internal/vec"
+)
+
+// FDPCriterion selects the dispersion objective of the greedy heuristic.
+type FDPCriterion uint8
+
+const (
+	// MaxAvg maximizes the average pairwise score (the paper's choice,
+	// with the factor-4 guarantee of Theorem 4).
+	MaxAvg FDPCriterion = iota
+	// MaxMin maximizes the minimum pairwise score.
+	MaxMin
+)
+
+func (c FDPCriterion) String() string {
+	if c == MaxAvg {
+		return "max-avg"
+	}
+	return "max-min"
+}
+
+// FDPOptions tunes the DV-FDP family.
+type FDPOptions struct {
+	// Mode selects DV-FDP-Fi (Filter) or DV-FDP-Fo (Fold).
+	Mode ConstraintMode
+	// Criterion selects MaxAvg (default) or MaxMin.
+	Criterion FDPCriterion
+	// Precompute materializes the n x n distance matrix up front, as the
+	// paper's Algorithm 2 does; when false, distances are computed lazily
+	// per call, trading CPU for O(n^2) memory. Ablation benches compare.
+	Precompute bool
+	// FixedSeed uses the arbitrary-pair seeding ablation instead of the
+	// max-edge seed.
+	FixedSeed bool
+	// DisableLocalSearch turns off the post-greedy swap improvement pass;
+	// used by ablation benches to quantify its contribution.
+	DisableLocalSearch bool
+}
+
+// DVFDP runs the facility-dispersion-based optimizer (Algorithm 2 with the
+// constraint handling of Sections 5.2/5.3). It maximizes the spec's
+// objective directly: for a tag-diversity objective the pairwise "distance"
+// is the diversity pair function (cosine distance of signatures); for a
+// similarity objective it is the similarity pair function — the extension
+// the paper notes makes FDP applicable to similarity problems too.
+//
+// In Fold mode the hard constraints gate every greedy add: a candidate is
+// admissible when, for every constraint, its mean pair score against the
+// already-selected groups clears the threshold. Mean-gating each add (with
+// the seed pair gated pair-wise) guarantees the final set's aggregate
+// constraint by induction — the set's mean is a weighted average of the
+// per-add means. The support floor cannot be folded pair-wise, so the
+// greedy runs twice, once unrestricted and once with candidates restricted
+// to groups of at least MinSupport/KHi tuples (a size sum that can clear
+// the floor); the better feasible outcome wins. Section 5.3's final
+// support post-check applies either way.
+func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	name := "DV-FDP-Fi"
+	if opts.Mode == Fold {
+		name = "DV-FDP-Fo"
+	}
+	res := Result{Algorithm: name}
+	n := len(e.Groups)
+	if n == 0 {
+		e.finish(&res, spec, start)
+		return res, nil
+	}
+
+	// The greedy "distance" is the weighted objective pair score, so that
+	// maximizing dispersion maximizes the objective.
+	objPairs := make([]mining.PairFunc, len(spec.Objectives))
+	weights := make([]float64, len(spec.Objectives))
+	for i, o := range spec.Objectives {
+		objPairs[i] = e.PairFunc(o.Dim, o.Meas)
+		weights[i] = o.Weight
+	}
+	dist := func(i, j int) float64 {
+		var s float64
+		for oi, f := range objPairs {
+			s += weights[oi] * f(e.Groups[i], e.Groups[j])
+		}
+		return s
+	}
+	if opts.Precompute {
+		m := vec.NewMatrixParallel(n, dist, 0)
+		dist = m.At
+	}
+
+	// Candidate size floors to try: 0 (the paper's algorithm as written,
+	// with the dynamic feasibility gate below) plus a small sweep of flat
+	// per-group floors derived from the support constraint. Different
+	// floors trade objective quality against support headroom; the best
+	// feasible outcome wins.
+	floors := []int{0}
+	if spec.MinSupport > 0 && spec.KHi > 0 {
+		perGroup := (spec.MinSupport + spec.KHi - 1) / spec.KHi
+		for _, f := range []int{perGroup, perGroup / 2} {
+			if f <= 0 {
+				continue
+			}
+			eligible := 0
+			for _, g := range e.Groups {
+				if g.Size() >= f {
+					eligible++
+				}
+			}
+			if eligible >= 2 {
+				floors = append(floors, f)
+			}
+		}
+	}
+
+	k := spec.KHi
+	if k > n {
+		k = n
+	}
+	// Gather feasible starting sets. Filter mode stays faithful to the
+	// paper's DV-FDP-Fi: one unconstrained greedy run whose result is
+	// post-filtered — and may therefore be null, exactly as Section 5.2
+	// warns. Fold mode folds everything it can (constraint gates, support
+	// feasibility, floor sweep, support-first and anchored starts).
+	var starts [][]*groups.Group
+	if opts.Mode == Filter {
+		set, adds := e.dvfdpOnce(spec, opts, dist, k, 0)
+		res.CandidatesExamined += adds
+		if set != nil && e.ConstraintsSatisfied(set, spec) {
+			starts = append(starts, set)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, floor := range floors {
+			if seen[floor] {
+				continue
+			}
+			seen[floor] = true
+			set, adds := e.dvfdpOnce(spec, opts, dist, k, floor)
+			res.CandidatesExamined += adds
+			if set != nil && e.ConstraintsSatisfied(set, spec) {
+				starts = append(starts, set)
+			}
+		}
+	}
+	if opts.Mode == Fold && k >= 2 && k <= n {
+		bySize := make([]*groups.Group, 0, n)
+		bySize = append(bySize, e.Groups...)
+		sort.Slice(bySize, func(i, j int) bool { return bySize[i].Size() > bySize[j].Size() })
+		largest := bySize[:k]
+		if e.ConstraintsSatisfied(largest, spec) {
+			starts = append(starts, largest)
+		}
+		// Anchored starts: seed on one large group and greedily complete
+		// the set with the partners maximizing the objective among those
+		// keeping the partial set feasible. These reach regions the
+		// dispersion seed never visits (e.g. "similar profiles, diverse
+		// tags" optima whose pairwise distances are mid-range).
+		anchors := 6
+		if anchors > len(bySize) {
+			anchors = len(bySize)
+		}
+		for a := 0; a < anchors; a++ {
+			set := e.anchoredStart(bySize[a], spec, dist, k)
+			res.CandidatesExamined += int64(len(set))
+			if set != nil && e.ConstraintsSatisfied(set, spec) {
+				starts = append(starts, set)
+			}
+		}
+	}
+
+	// The greedy is myopic: dispersion-first picks can lock it into a
+	// low-objective corner once the support gate starts binding. A swap
+	// local search from each feasible start recovers most of the gap to
+	// Exact at a small linear cost per round; the best outcome wins.
+	bestObjective := -1.0
+	for _, set := range starts {
+		if !opts.DisableLocalSearch {
+			improved, swaps := e.localImprove(set, spec)
+			set = improved
+			res.CandidatesExamined += swaps
+		}
+		if score := e.ObjectiveScore(set, spec); score > bestObjective {
+			bestObjective = score
+			res.Found = true
+			res.Groups = set
+		}
+	}
+	e.finish(&res, spec, start)
+	return res, nil
+}
+
+// localImprove repeatedly tries to swap one selected group for one
+// unselected group when the swap keeps the set feasible and raises the
+// objective, until a round yields no improvement (capped at 8 rounds).
+// It returns the improved set and the number of candidate evaluations.
+func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec) ([]*groups.Group, int64) {
+	cur := make([]*groups.Group, len(set))
+	copy(cur, set)
+	curScore := e.ObjectiveScore(cur, spec)
+	inSet := make(map[int]bool, len(cur))
+	for _, g := range cur {
+		inSet[g.ID] = true
+	}
+	var evals int64
+	for round := 0; round < 8; round++ {
+		improvedThisRound := false
+		for pos := 0; pos < len(cur); pos++ {
+			old := cur[pos]
+			for _, cand := range e.Groups {
+				if inSet[cand.ID] {
+					continue
+				}
+				cur[pos] = cand
+				evals++
+				// Score first: it rejects most candidates and is cheaper
+				// than the full feasibility battery.
+				if score := e.ObjectiveScore(cur, spec); score > curScore+1e-12 &&
+					e.ConstraintsSatisfied(cur, spec) {
+					curScore = score
+					delete(inSet, old.ID)
+					inSet[cand.ID] = true
+					old = cand
+					improvedThisRound = true
+					continue
+				}
+				cur[pos] = old
+			}
+		}
+		if !improvedThisRound {
+			break
+		}
+	}
+	return cur, evals
+}
+
+// anchoredStart builds a k-set around one anchor group by repeatedly adding
+// the candidate that maximizes the objective pair-sum to the partial set
+// while keeping it feasible-so-far (constraint aggregates evaluated on the
+// partial set; support deferred to the caller's final check). Returns nil
+// when no candidate can be added at some step.
+func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, dist vec.DistFunc, k int) []*groups.Group {
+	set := []*groups.Group{anchor}
+	inSet := map[int]bool{anchor.ID: true}
+	for len(set) < k {
+		var best *groups.Group
+		bestSum := -1.0
+		for _, cand := range e.Groups {
+			if inSet[cand.ID] {
+				continue
+			}
+			var sum float64
+			for _, s := range set {
+				sum += dist(s.ID, cand.ID)
+			}
+			if sum <= bestSum {
+				continue
+			}
+			trial := append(set, cand)
+			ok := true
+			for _, c := range spec.Constraints {
+				if e.miningFunc(c.Dim, c.Meas).Eval(trial) < c.Threshold {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best, bestSum = cand, sum
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		set = append(set, best)
+		inSet[best.ID] = true
+	}
+	return set
+}
+
+// dvfdpOnce runs one greedy dispersion pass with the given candidate size
+// floor, returning the selected groups (nil when no admissible seed pair
+// exists) and the number of greedy selections performed.
+func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, dist vec.DistFunc, k, minSize int) ([]*groups.Group, int64) {
+	// Dynamic support-feasibility gate (Fold mode only): a candidate is
+	// admissible only if the support floor can still be reached after
+	// picking it, assuming every remaining slot takes the largest
+	// available group. This prunes dead-end selections without the
+	// bluntness of a flat size floor.
+	maxSize := 0
+	for _, g := range e.Groups {
+		if g.Size() > maxSize {
+			maxSize = g.Size()
+		}
+	}
+	var accept fdp.Accept
+	if opts.Mode == Fold && spec.MinSupport > 0 {
+		accept = func(selected []int, cand int) bool {
+			if minSize > 0 && e.Groups[cand].Size() < minSize {
+				return false
+			}
+			sum := e.Groups[cand].Size()
+			for _, s := range selected {
+				sum += e.Groups[s].Size()
+			}
+			remaining := k - len(selected) - 1
+			return sum+remaining*maxSize >= spec.MinSupport
+		}
+	} else if minSize > 0 {
+		accept = func(selected []int, cand int) bool {
+			return e.Groups[cand].Size() >= minSize
+		}
+	}
+	if opts.Mode == Fold && len(spec.Constraints) > 0 {
+		conPairs := make([]mining.PairFunc, len(spec.Constraints))
+		thresholds := make([]float64, len(spec.Constraints))
+		for i, c := range spec.Constraints {
+			conPairs[i] = e.PairFunc(c.Dim, c.Meas)
+			thresholds[i] = c.Threshold
+		}
+		sizeAccept := accept
+		accept = func(selected []int, cand int) bool {
+			if sizeAccept != nil && !sizeAccept(selected, cand) {
+				return false
+			}
+			for ci, f := range conPairs {
+				var sum float64
+				for _, s := range selected {
+					sum += f(e.Groups[s], e.Groups[cand])
+				}
+				if sum < thresholds[ci]*float64(len(selected)) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	var (
+		run fdp.Result
+		err error
+	)
+	switch {
+	case k < 2:
+		// Degenerate: a single group maximizes nothing pair-wise; pick the
+		// largest group (most support) as the only sensible singleton.
+		run = fdp.Result{Selected: []int{0}}
+	case opts.FixedSeed:
+		run, err = fdp.RandomSeedMaxAvg(len(e.Groups), k, dist, accept)
+	case opts.Criterion == MaxMin:
+		run, err = fdp.MaxMin(len(e.Groups), k, dist, accept)
+	default:
+		run, err = fdp.MaxAvg(len(e.Groups), k, dist, accept)
+	}
+	if err != nil {
+		// No admissible seed pair: a null outcome for this pass.
+		return nil, 0
+	}
+	set := make([]*groups.Group, len(run.Selected))
+	for i, id := range run.Selected {
+		set[i] = e.Groups[id]
+	}
+	return set, int64(len(run.Selected))
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/mining"
+	"tagdm/internal/signature"
+	"tagdm/internal/store"
+)
+
+// Engine binds a store, its enumerated groups and their tag signatures, and
+// evaluates TagDM problem specs with any of the algorithm families.
+type Engine struct {
+	Store  *store.Store
+	Groups []*groups.Group
+	Sigs   []signature.Signature
+
+	// pairFuncs caches the concrete pair function per (dimension, measure).
+	pairFuncs map[pairKey]mining.PairFunc
+}
+
+type pairKey struct {
+	dim  mining.Dimension
+	meas mining.Measure
+}
+
+// NewEngine prepares an engine. Groups must carry their enumeration IDs
+// (0..len-1) and sigs must be indexed by group ID.
+func NewEngine(s *store.Store, gs []*groups.Group, sigs []signature.Signature) (*Engine, error) {
+	if len(gs) != len(sigs) {
+		return nil, fmt.Errorf("core: %d groups but %d signatures", len(gs), len(sigs))
+	}
+	for i, g := range gs {
+		if g.ID != i {
+			return nil, fmt.Errorf("core: group at position %d has ID %d; re-enumerate before building the engine", i, g.ID)
+		}
+	}
+	e := &Engine{Store: s, Groups: gs, Sigs: sigs, pairFuncs: make(map[pairKey]mining.PairFunc)}
+	return e, nil
+}
+
+// PairFunc returns the cached concrete pair function for a binding.
+func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.PairFunc {
+	k := pairKey{dim, meas}
+	if f, ok := e.pairFuncs[k]; ok {
+		return f
+	}
+	f := mining.For(e.Store, e.Sigs, dim, meas).Pair
+	e.pairFuncs[k] = f
+	return f
+}
+
+// SetPairFunc overrides the concrete measure for one (dimension, measure)
+// binding — e.g. swapping structural item similarity for the rating-aware
+// Jaccard of Section 2.1.1, or a domain-aware value comparison. The paper
+// deliberately leaves the measures pluggable; this is the plug. Pass the
+// similarity form and the engine derives nothing: each binding is set
+// independently, so set both (dim, Similarity) and (dim, Diversity) when
+// both appear in specs.
+func (e *Engine) SetPairFunc(dim mining.Dimension, meas mining.Measure, f mining.PairFunc) {
+	e.pairFuncs[pairKey{dim, meas}] = f
+}
+
+// miningFunc builds the full aggregate function for a binding.
+func (e *Engine) miningFunc(dim mining.Dimension, meas mining.Measure) mining.Func {
+	return mining.Func{Dim: dim, Meas: meas, Pair: e.PairFunc(dim, meas), Agg: mining.Mean}
+}
+
+// ObjectiveScore computes the weighted objective sum of a candidate set.
+func (e *Engine) ObjectiveScore(set []*groups.Group, spec ProblemSpec) float64 {
+	var total float64
+	for _, o := range spec.Objectives {
+		total += o.Weight * e.miningFunc(o.Dim, o.Meas).Eval(set)
+	}
+	return total
+}
+
+// ConstraintsSatisfied reports whether a candidate set meets every hard
+// constraint plus the support floor. Sets smaller than 2 trivially satisfy
+// pair-based constraints (no pair evidence against them) but still face the
+// support check.
+func (e *Engine) ConstraintsSatisfied(set []*groups.Group, spec ProblemSpec) bool {
+	if len(set) < spec.KLo || len(set) > spec.KHi {
+		return false
+	}
+	for _, c := range spec.Constraints {
+		if len(set) < 2 {
+			continue
+		}
+		if e.miningFunc(c.Dim, c.Meas).Eval(set) < c.Threshold {
+			return false
+		}
+	}
+	if spec.MinSupport > 0 {
+		// Fast reject: the union can never exceed the size sum, so a
+		// cheap sum below the floor avoids the bitmap union entirely.
+		// This matters for Exact, which checks millions of candidates.
+		sum := 0
+		for _, g := range set {
+			sum += g.Size()
+		}
+		if sum < spec.MinSupport {
+			return false
+		}
+		if groups.Support(set) < spec.MinSupport {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of one algorithm run.
+type Result struct {
+	// Found reports whether any feasible set was produced; a null result
+	// (paper's terminology) has Found=false.
+	Found bool
+	// Groups is the returned set Gopt (or Gapp for approximate algorithms).
+	Groups []*groups.Group
+	// Objective is the weighted objective score of Groups.
+	Objective float64
+	// Support is the group support of Groups.
+	Support int
+	// Algorithm names the producing algorithm.
+	Algorithm string
+	// Elapsed is the wall-clock runtime of the run.
+	Elapsed time.Duration
+	// CandidatesExamined counts candidate sets (Exact) or buckets (LSH) or
+	// greedy adds (FDP) evaluated, for reporting.
+	CandidatesExamined int64
+}
+
+// Describe renders the result's groups through the store dictionaries.
+func (r Result) Describe(s *store.Store) []string {
+	out := make([]string, len(r.Groups))
+	for i, g := range r.Groups {
+		out[i] = g.Describe(s)
+	}
+	return out
+}
+
+// finish stamps common result fields.
+func (e *Engine) finish(r *Result, spec ProblemSpec, start time.Time) {
+	r.Elapsed = time.Since(start)
+	if r.Found {
+		r.Objective = e.ObjectiveScore(r.Groups, spec)
+		r.Support = groups.Support(r.Groups)
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tagdm/internal/groups"
+)
+
+// DefaultMaxExactCandidates caps the number of candidate sets the Exact
+// baseline will enumerate before refusing to run. The brute force is
+// exponential (Section 3.1); the cap turns an accidental week-long run into
+// an immediate error.
+const DefaultMaxExactCandidates = 100_000_000
+
+// ExactOptions tunes the brute-force baseline.
+type ExactOptions struct {
+	// MaxCandidates overrides DefaultMaxExactCandidates when > 0.
+	MaxCandidates int64
+	// Parallel splits the enumeration across GOMAXPROCS workers by first
+	// element. The result is identical to the serial run (ties broken by
+	// lexicographically smallest candidate).
+	Parallel bool
+}
+
+// Exact enumerates every candidate set of size KLo..KHi over the engine's
+// groups, keeps those satisfying all constraints, and returns the feasible
+// set with maximum objective. This is the paper's Exact baseline: optimal
+// but exponential in k.
+func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	n := len(e.Groups)
+	limit := opts.MaxCandidates
+	if limit <= 0 {
+		limit = DefaultMaxExactCandidates
+	}
+	var total int64
+	for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
+		c := binomial(n, k)
+		if c < 0 || total+c < 0 {
+			total = -1
+			break
+		}
+		total += c
+	}
+	if total < 0 || total > limit {
+		return Result{}, fmt.Errorf(
+			"core: exact enumeration over %d groups (k in [%d,%d]) exceeds candidate cap %d",
+			n, spec.KLo, spec.KHi, limit)
+	}
+
+	res := Result{Algorithm: "Exact"}
+	if opts.Parallel {
+		e.exactParallel(spec, &res)
+	} else {
+		w := exactWorker{engine: e, spec: spec}
+		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
+			w.enumerate(0, k, 1)
+		}
+		res.CandidatesExamined = w.examined
+		res.Found = w.found
+		res.Groups = w.best
+	}
+	e.finish(&res, spec, start)
+	return res, nil
+}
+
+// exactWorker explores one shard of the candidate space: first elements i
+// with i % stride == offset (offset encoded by the initial call), then all
+// completions. It keeps the first maximum it encounters, which in the
+// enumeration order means the lexicographically smallest argmax.
+type exactWorker struct {
+	engine    *Engine
+	spec      ProblemSpec
+	set       []*groups.Group
+	best      []*groups.Group
+	bestScore float64
+	found     bool
+	examined  int64
+	offset    int
+}
+
+// enumerate recursively extends the worker's candidate set; stride shards
+// only the outermost level (depth == full k).
+func (w *exactWorker) enumerate(startIdx, k, stride int) {
+	e := w.engine
+	n := len(e.Groups)
+	if k == 0 {
+		w.examined++
+		if !e.ConstraintsSatisfied(w.set, w.spec) {
+			return
+		}
+		if score := e.ObjectiveScore(w.set, w.spec); !w.found || score > w.bestScore {
+			w.bestScore = score
+			w.best = append(w.best[:0], w.set...)
+			w.found = true
+		}
+		return
+	}
+	first, step := startIdx, 1
+	if stride > 1 {
+		// Align to this worker's shard of the outermost level.
+		step = stride
+		for first <= n-k && first%stride != w.offset {
+			first++
+		}
+	}
+	for i := first; i <= n-k; i += step {
+		w.set = append(w.set, e.Groups[i])
+		w.enumerate(i+1, k-1, 1)
+		w.set = w.set[:len(w.set)-1]
+	}
+}
+
+// exactParallel shards the outer loop across GOMAXPROCS workers and merges
+// deterministically: highest score wins, ties go to the candidate that the
+// serial enumeration would have met first (smaller size, then smaller
+// group IDs).
+func (e *Engine) exactParallel(spec ProblemSpec, res *Result) {
+	n := len(e.Groups)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Warm the pair-function cache: workers only read it afterwards.
+	for _, c := range spec.Constraints {
+		e.PairFunc(c.Dim, c.Meas)
+	}
+	for _, o := range spec.Objectives {
+		e.PairFunc(o.Dim, o.Meas)
+	}
+	results := make([]exactWorker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := &results[wi]
+			w.engine, w.spec, w.offset = e, spec, wi
+			for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
+				w.enumerate(0, k, workers)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for i := range results {
+		w := &results[i]
+		res.CandidatesExamined += w.examined
+		if !w.found {
+			continue
+		}
+		if !res.Found || w.bestScore > resScore(res) ||
+			(w.bestScore == resScore(res) && lessCandidate(w.best, res.Groups)) {
+			res.Found = true
+			res.Groups = append([]*groups.Group(nil), w.best...)
+			res.Objective = w.bestScore
+		}
+	}
+}
+
+func resScore(r *Result) float64 { return r.Objective }
+
+// lessCandidate orders candidate sets the way the serial enumeration meets
+// them: by size, then lexicographically by group ID.
+func lessCandidate(a, b []*groups.Group) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return a[i].ID < b[i].ID
+		}
+	}
+	return false
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+		if c < 0 || c > 1<<62 {
+			return -1
+		}
+	}
+	return c
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{0, 0, 1}, {3, 4, 0}, {3, -1, 0}, {250, 3, 2573000},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	if got := binomial(10_000_000, 5); got != -1 {
+		t.Errorf("huge binomial should overflow to -1, got %d", got)
+	}
+}
+
+func TestExactParallelMatchesSerial(t *testing.T) {
+	e := buildEngine(t)
+	for id := 1; id <= 6; id++ {
+		spec, _ := PaperProblem(id, 3, 5, 0.5, 0.5)
+		serial, err := e.Exact(spec, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := e.Exact(spec, ExactOptions{Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Found != parallel.Found {
+			t.Fatalf("problem %d: found mismatch %v vs %v", id, serial.Found, parallel.Found)
+		}
+		if serial.CandidatesExamined != parallel.CandidatesExamined {
+			t.Fatalf("problem %d: candidates %d vs %d",
+				id, serial.CandidatesExamined, parallel.CandidatesExamined)
+		}
+		if !serial.Found {
+			continue
+		}
+		if serial.Objective != parallel.Objective {
+			t.Fatalf("problem %d: objective %v vs %v", id, serial.Objective, parallel.Objective)
+		}
+		if len(serial.Groups) != len(parallel.Groups) {
+			t.Fatalf("problem %d: group count %d vs %d",
+				id, len(serial.Groups), len(parallel.Groups))
+		}
+	}
+}
+
+func TestExactParallelDeterministic(t *testing.T) {
+	e := buildEngine(t)
+	spec, _ := PaperProblem(1, 3, 5, 0.5, 0.5)
+	var firstIDs []int
+	for run := 0; run < 3; run++ {
+		res, err := e.Exact(spec, ExactOptions{Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int, len(res.Groups))
+		for i, g := range res.Groups {
+			ids[i] = g.ID
+		}
+		if run == 0 {
+			firstIDs = ids
+			continue
+		}
+		if len(ids) != len(firstIDs) {
+			t.Fatalf("run %d returned different set size", run)
+		}
+		for i := range ids {
+			if ids[i] != firstIDs[i] {
+				t.Fatalf("run %d returned different groups %v vs %v", run, ids, firstIDs)
+			}
+		}
+	}
+}

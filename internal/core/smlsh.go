@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/lsh"
+	"tagdm/internal/mining"
+	"tagdm/internal/vec"
+)
+
+// ConstraintMode selects how an approximate algorithm handles the hard
+// constraints (paper Sections 4.2/4.3 and 5.2/5.3).
+type ConstraintMode uint8
+
+const (
+	// Filter post-processes candidates for constraint satisfiability
+	// (SM-LSH-Fi / DV-FDP-Fi).
+	Filter ConstraintMode = iota
+	// Fold folds compatible constraints into the search itself — into the
+	// hashed vectors for LSH, into the greedy add step for FDP — and
+	// filters only what cannot be folded (SM-LSH-Fo / DV-FDP-Fo).
+	Fold
+)
+
+func (m ConstraintMode) String() string {
+	if m == Filter {
+		return "filter"
+	}
+	return "fold"
+}
+
+// LSHOptions tunes the SM-LSH family.
+type LSHOptions struct {
+	// DPrime is the initial number of hyperplanes (paper starts at 10).
+	DPrime int
+	// L is the number of hash tables (paper uses 1).
+	L int
+	// Seed drives hyperplane generation.
+	Seed int64
+	// Mode selects SM-LSH-Fi (Filter) or SM-LSH-Fo (Fold).
+	Mode ConstraintMode
+	// DisableRelaxation turns off the binary-search relaxation of DPrime
+	// (Algorithm 1's repeat loop); used by ablation benches.
+	DisableRelaxation bool
+	// StrictBucketSize skips buckets holding more than KHi groups, exactly
+	// as Algorithm 1's size check reads. The default (false) instead trims
+	// an oversized bucket to its best KHi members by greedy objective
+	// maximization — without this, datasets where many groups share a tag
+	// signature hash to one giant bucket and every run returns null.
+	StrictBucketSize bool
+}
+
+func (o LSHOptions) withDefaults() LSHOptions {
+	if o.DPrime == 0 {
+		o.DPrime = 10
+	}
+	if o.L == 0 {
+		o.L = 1
+	}
+	return o
+}
+
+// SMLSH runs the LSH-based similarity maximizer (Algorithm 1 with the
+// constraint handling of Sections 4.2/4.3). It requires a spec whose
+// objectives are all similarity criteria; diversity objectives need the
+// DVFDP family because the hash function cannot be inverted for
+// dissimilarity (Section 4.3, Discussion).
+func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !spec.OptimizesSimilarityOnly() {
+		return Result{}, fmt.Errorf("core: SM-LSH requires similarity objectives; got %v", spec.Objectives)
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	name := "SM-LSH-Fi"
+	if opts.Mode == Fold {
+		name = "SM-LSH-Fo"
+	}
+	res := Result{Algorithm: name}
+
+	vectors := e.hashVectors(spec, opts.Mode)
+
+	// Binary-search relaxation over d' (Algorithm 1): try the current d';
+	// on a null result, move to a coarser partition (fewer hyperplanes =>
+	// bigger buckets => better odds a feasible bucket survives). A
+	// feasible singleton bucket scores 0 on any pair-wise objective and
+	// would otherwise satisfy the size check at every d', so the search
+	// keeps relaxing until it finds a multi-group bucket and only falls
+	// back to the best singleton when relaxation is exhausted.
+	lo, hi := 1, opts.DPrime
+	dprime := opts.DPrime
+	var fallback []*groups.Group
+	for {
+		idx, err := lsh.Build(vectors, lsh.Params{DPrime: dprime, L: opts.L, Seed: opts.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		found, single, examined := e.bestBucket(idx, spec, opts)
+		res.CandidatesExamined += examined
+		if found != nil {
+			res.Found = true
+			res.Groups = found
+			break
+		}
+		if single != nil && fallback == nil {
+			fallback = single
+		}
+		if opts.DisableRelaxation {
+			break
+		}
+		hi = dprime - 1
+		if lo > hi {
+			break
+		}
+		dprime = (lo + hi) / 2
+	}
+	if !res.Found && fallback != nil {
+		res.Found = true
+		res.Groups = fallback
+	}
+	e.finish(&res, spec, start)
+	return res, nil
+}
+
+// hashVectors builds the per-group vectors to hash. In Filter mode the
+// vector is the (normalized) tag signature alone. In Fold mode, similarity
+// constraints on the user and/or item dimensions are folded in by
+// concatenating one-hot encodings of the group's structural description
+// (Section 4.3), so groups that agree on those attributes tend to collide.
+func (e *Engine) hashVectors(spec ProblemSpec, mode ConstraintMode) [][]float64 {
+	foldUsers, foldItems := false, false
+	if mode == Fold {
+		for _, c := range spec.Constraints {
+			if c.Meas != mining.Similarity {
+				continue // diversity constraints cannot be folded into LSH
+			}
+			switch c.Dim {
+			case mining.Users:
+				foldUsers = true
+			case mining.Items:
+				foldItems = true
+			}
+		}
+	}
+	us, is := e.Store.UserSchema, e.Store.ItemSchema
+	uOffs, iOffs := us.OneHotOffsets(), is.OneHotOffsets()
+	uDim, iDim := us.TotalCardinality(), is.TotalCardinality()
+
+	vectors := make([][]float64, len(e.Groups))
+	for gi, g := range e.Groups {
+		sig := make([]float64, len(e.Sigs[gi].Weights))
+		copy(sig, e.Sigs[gi].Weights)
+		vec.Normalize(sig)
+		parts := make([][]float64, 0, 3)
+		if foldUsers {
+			oh := make([]float64, uDim)
+			for a := 0; a < us.Len(); a++ {
+				if v := g.UserValue(a); v != 0 {
+					oh[uOffs[a]+int(v)-1] = 1
+				}
+			}
+			vec.Normalize(oh)
+			parts = append(parts, oh)
+		}
+		if foldItems {
+			oh := make([]float64, iDim)
+			for a := 0; a < is.Len(); a++ {
+				if v := g.ItemValue(a); v != 0 {
+					oh[iOffs[a]+int(v)-1] = 1
+				}
+			}
+			vec.Normalize(oh)
+			parts = append(parts, oh)
+		}
+		parts = append(parts, sig)
+		vectors[gi] = vec.Concat(parts...)
+	}
+	return vectors
+}
+
+// bestBucket scans every bucket of the index, keeps those whose group count
+// fits [KLo, KHi] (trimming oversized buckets unless strict), checks
+// feasibility, ranks by objective score, and returns the best multi-group
+// set plus the best feasible singleton (both nil when none qualify).
+func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions) (multi, single []*groups.Group, examined int64) {
+	buckets := idx.Buckets()
+	// Deterministic processing order regardless of map iteration.
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].Table != buckets[j].Table {
+			return buckets[i].Table < buckets[j].Table
+		}
+		return buckets[i].Signature < buckets[j].Signature
+	})
+	bestScore := -1.0
+	var bestSingleSize int
+	for _, b := range buckets {
+		examined++
+		if len(b.IDs) < spec.KLo {
+			continue
+		}
+		ids := b.IDs
+		if len(ids) > spec.KHi {
+			if opts.StrictBucketSize {
+				continue
+			}
+			ids = e.trimBucket(ids, spec)
+		}
+		set := make([]*groups.Group, len(ids))
+		for i, id := range ids {
+			set[i] = e.Groups[id]
+		}
+		// Both modes must end with a feasible set; folding only raises the
+		// odds that co-hashed groups already satisfy the folded
+		// constraints, it does not remove the final check for the rest.
+		if !e.ConstraintsSatisfied(set, spec) {
+			continue
+		}
+		if len(set) == 1 {
+			if set[0].Size() > bestSingleSize {
+				bestSingleSize = set[0].Size()
+				single = set
+			}
+			continue
+		}
+		if score := e.ObjectiveScore(set, spec); score > bestScore {
+			bestScore = score
+			multi = set
+		}
+	}
+	return multi, single, examined
+}
+
+// trimBucket reduces an oversized bucket to KHi members by greedy objective
+// maximization: seed with the pair of maximal pair score, then repeatedly
+// add the member with the greatest total score against the selection.
+// When a support floor is set, trimming prefers members large enough that
+// KHi of them can clear it (size >= MinSupport/KHi), falling back to the
+// whole bucket when too few qualify.
+func (e *Engine) trimBucket(ids []int, spec ProblemSpec) []int {
+	k := spec.KHi
+	if spec.MinSupport > 0 && k > 0 {
+		floor := (spec.MinSupport + k - 1) / k
+		big := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if e.Groups[id].Size() >= floor {
+				big = append(big, id)
+			}
+		}
+		if len(big) >= 2 {
+			ids = big
+		}
+	}
+	pair := func(a, b int) float64 {
+		var s float64
+		for _, o := range spec.Objectives {
+			s += o.Weight * e.PairFunc(o.Dim, o.Meas)(e.Groups[a], e.Groups[b])
+		}
+		return s
+	}
+	// Seed with the best pair.
+	bi, bj, best := 0, 1, -1.0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if s := pair(ids[i], ids[j]); s > best {
+				best, bi, bj = s, i, j
+			}
+		}
+	}
+	selected := []int{ids[bi], ids[bj]}
+	used := map[int]bool{ids[bi]: true, ids[bj]: true}
+	for len(selected) < k {
+		cand, candScore := -1, -1.0
+		for _, id := range ids {
+			if used[id] {
+				continue
+			}
+			var s float64
+			for _, sel := range selected {
+				s += pair(id, sel)
+			}
+			if s > candScore {
+				cand, candScore = id, s
+			}
+		}
+		if cand == -1 {
+			break
+		}
+		selected = append(selected, cand)
+		used[cand] = true
+	}
+	return selected
+}

@@ -1,0 +1,20 @@
+package core
+
+// SolveOptions bundles the per-family options for the Solve dispatcher.
+type SolveOptions struct {
+	LSH LSHOptions
+	FDP FDPOptions
+}
+
+// Solve dispatches a spec to the appropriate approximate algorithm family,
+// mirroring Table 2 of the paper: similarity-only objectives go to the
+// SM-LSH family; anything involving a diversity objective goes to DV-FDP.
+func (e *Engine) Solve(spec ProblemSpec, opts SolveOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if spec.OptimizesSimilarityOnly() {
+		return e.SMLSH(spec, opts.LSH)
+	}
+	return e.DVFDP(spec, opts.FDP)
+}

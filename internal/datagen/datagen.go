@@ -1,0 +1,338 @@
+// Package datagen synthesizes MovieLens-like tagging datasets with the
+// structure the paper's evaluation depends on (Section 6): users carrying
+// {gender, age, occupation, state} demographics, movies carrying {genre,
+// actor, director}, a long-tail tag vocabulary organized by latent topics,
+// and tagging actions concentrated on recurring (user-segment,
+// item-profile) combinations so that thousands of describable groups clear
+// the paper's 5-tuple floor.
+//
+// The original data pipeline matched MovieLens 10M users (who have tags but
+// no demographics) to MovieLens 1M users (demographics but no tags) by
+// rating-vector cosine; transfer.go reproduces that stage synthetically.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tagdm/internal/model"
+)
+
+// Config controls generation. The zero value is not valid; start from
+// Default or Small.
+type Config struct {
+	// Users, Items and Actions set the population sizes.
+	Users, Items, Actions int
+	// VocabSize is the tag vocabulary size.
+	VocabSize int
+	// Topics is the number of latent tag topics driving co-occurrence.
+	Topics int
+	// UserSegments is how many distinct demographic profiles users draw
+	// from; fewer segments concentrate actions into fewer groups.
+	UserSegments int
+	// ItemProfiles is how many distinct (genre, actor, director)
+	// combinations items draw from.
+	ItemProfiles int
+	// BurstMin and BurstMax bound the number of actions emitted per
+	// (segment, profile) burst; bursts are what make groups clear the
+	// min-tuple floor.
+	BurstMin, BurstMax int
+	// TagsMin and TagsMax bound tags per action.
+	TagsMin, TagsMax int
+	// Seed drives everything.
+	Seed int64
+}
+
+// Default mirrors the paper's post-join dataset scale: 2,320 users, 6,258
+// movies, 33,322 tagging actions (Section 6), 25 latent topics.
+func Default() Config {
+	return Config{
+		Users:        2320,
+		Items:        6258,
+		Actions:      33322,
+		VocabSize:    12000,
+		Topics:       25,
+		UserSegments: 280,
+		ItemProfiles: 700,
+		BurstMin:     5,
+		BurstMax:     9,
+		TagsMin:      1,
+		TagsMax:      4,
+		Seed:         1,
+	}
+}
+
+// Small is a fast configuration for tests and examples.
+func Small() Config {
+	return Config{
+		Users:        120,
+		Items:        200,
+		Actions:      1500,
+		VocabSize:    400,
+		Topics:       8,
+		UserSegments: 24,
+		ItemProfiles: 40,
+		BurstMin:     5,
+		BurstMax:     9,
+		TagsMin:      1,
+		TagsMax:      3,
+		Seed:         1,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Users < 1 || c.Items < 1 || c.Actions < 1:
+		return fmt.Errorf("datagen: population sizes must be positive")
+	case c.VocabSize < c.Topics || c.Topics < 1:
+		return fmt.Errorf("datagen: need VocabSize >= Topics >= 1")
+	case c.UserSegments < 1 || c.ItemProfiles < 1:
+		return fmt.Errorf("datagen: segment counts must be positive")
+	case c.BurstMin < 1 || c.BurstMax < c.BurstMin:
+		return fmt.Errorf("datagen: bad burst bounds [%d, %d]", c.BurstMin, c.BurstMax)
+	case c.TagsMin < 1 || c.TagsMax < c.TagsMin:
+		return fmt.Errorf("datagen: bad tag bounds [%d, %d]", c.TagsMin, c.TagsMax)
+	}
+	return nil
+}
+
+// Attribute value pools mirroring the paper's schema cardinalities:
+// gender 2, age 8, occupation 21, state 52, genre 19.
+var (
+	genders     = []string{"male", "female"}
+	ageRanges   = []string{"under 18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+", "unknown"}
+	occupations = []string{
+		"student", "artist", "doctor", "lawyer", "engineer", "teacher",
+		"programmer", "writer", "scientist", "manager", "salesman",
+		"technician", "farmer", "homemaker", "librarian", "marketing",
+		"retired", "executive", "clerical", "craftsman", "unemployed",
+	}
+	genres = []string{
+		"action", "adventure", "animation", "children", "comedy", "crime",
+		"documentary", "drama", "fantasy", "film-noir", "horror", "musical",
+		"mystery", "romance", "sci-fi", "thriller", "war", "western", "imax",
+	}
+)
+
+// states covers the 50 US states plus DC and "foreign", matching the
+// paper's 52-value location attribute.
+var states = func() []string {
+	base := []string{
+		"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI",
+		"ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+		"MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+		"ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
+		"VT", "VA", "WA", "WV", "WI", "WY", "DC", "foreign",
+	}
+	return base
+}()
+
+type segment struct {
+	gender, age, occupation, state string
+	// favoriteTopic biases this segment's tag choices.
+	favoriteTopic int
+}
+
+type itemProfile struct {
+	genre, actor, director string
+	// topic is the genre-derived latent topic of the profile.
+	topic int
+}
+
+// World is the generated dataset plus the latent structure that produced
+// it, exposed so experiments can validate recovered structure against
+// ground truth.
+type World struct {
+	Dataset *model.Dataset
+	// SegmentOfUser maps each user id to its segment index.
+	SegmentOfUser []int
+	// ProfileOfItem maps each item id to its item-profile index.
+	ProfileOfItem []int
+	// TopicOfTag maps each tag id to its primary latent topic.
+	TopicOfTag []int
+}
+
+// Generate builds a World from the configuration.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	segs := makeSegments(cfg, rng)
+	profiles := makeItemProfiles(cfg, rng)
+
+	d := model.NewDataset(
+		model.NewSchema("gender", "age", "occupation", "state"),
+		model.NewSchema("genre", "actor", "director"),
+	)
+
+	// Zipf skew over segments and profiles: a few are very active.
+	segZipf := rand.NewZipf(rng, 1.3, 1, uint64(len(segs)-1))
+	profZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(profiles)-1))
+
+	// Users: assign each to a segment (skewed) and register attributes.
+	segOfUser := make([]int, cfg.Users)
+	usersOfSeg := make([][]int32, len(segs))
+	for u := 0; u < cfg.Users; u++ {
+		si := int(segZipf.Uint64())
+		segOfUser[u] = si
+		id, err := d.AddUser(map[string]string{
+			"gender":     segs[si].gender,
+			"age":        segs[si].age,
+			"occupation": segs[si].occupation,
+			"state":      segs[si].state,
+		})
+		if err != nil {
+			return nil, err
+		}
+		usersOfSeg[si] = append(usersOfSeg[si], id)
+	}
+	// Items: assign each to a profile (skewed).
+	profOfItem := make([]int, cfg.Items)
+	itemsOfProf := make([][]int32, len(profiles))
+	for i := 0; i < cfg.Items; i++ {
+		pi := int(profZipf.Uint64())
+		profOfItem[i] = pi
+		id, err := d.AddItem(map[string]string{
+			"genre":    profiles[pi].genre,
+			"actor":    profiles[pi].actor,
+			"director": profiles[pi].director,
+		})
+		if err != nil {
+			return nil, err
+		}
+		itemsOfProf[pi] = append(itemsOfProf[pi], id)
+	}
+
+	// Tag vocabulary: word w's primary topic is w mod Topics; within a
+	// topic, earlier words are exponentially more frequent (long tail).
+	topicOfTag := make([]int, cfg.VocabSize)
+	tagNames := make([]string, cfg.VocabSize)
+	for w := 0; w < cfg.VocabSize; w++ {
+		topicOfTag[w] = w % cfg.Topics
+		tagNames[w] = fmt.Sprintf("tag-%02d-%04d", topicOfTag[w], w/cfg.Topics)
+	}
+	// Intern the whole vocabulary up front so tag ids equal word indexes
+	// and TopicOfTag is directly indexable by model.TagID.
+	for w := 0; w < cfg.VocabSize; w++ {
+		d.Vocab.ID(tagNames[w])
+	}
+	wordsPerTopic := (cfg.VocabSize + cfg.Topics - 1) / cfg.Topics
+	tagZipf := rand.NewZipf(rng, 1.6, 1, uint64(wordsPerTopic-1))
+
+	drawTag := func(topic int) string {
+		rank := int(tagZipf.Uint64())
+		w := rank*cfg.Topics + topic
+		if w >= cfg.VocabSize {
+			w = topic
+		}
+		return tagNames[w]
+	}
+
+	// Emit bursts of actions on a (segment, profile) pair until the action
+	// budget is spent. Each burst's tags mix the profile's genre topic
+	// (70%), the segment's favorite topic (20%), and noise (10%).
+	emitted := 0
+	for emitted < cfg.Actions {
+		si := int(segZipf.Uint64())
+		pi := int(profZipf.Uint64())
+		if len(usersOfSeg[si]) == 0 || len(itemsOfProf[pi]) == 0 {
+			continue
+		}
+		burst := cfg.BurstMin + rng.Intn(cfg.BurstMax-cfg.BurstMin+1)
+		if emitted+burst > cfg.Actions {
+			burst = cfg.Actions - emitted
+		}
+		for b := 0; b < burst; b++ {
+			u := usersOfSeg[si][rng.Intn(len(usersOfSeg[si]))]
+			it := itemsOfProf[pi][rng.Intn(len(itemsOfProf[pi]))]
+			nTags := cfg.TagsMin + rng.Intn(cfg.TagsMax-cfg.TagsMin+1)
+			tags := make([]string, 0, nTags)
+			seen := map[string]bool{}
+			for len(tags) < nTags {
+				topic := profiles[pi].topic
+				switch r := rng.Float64(); {
+				case r < 0.10:
+					topic = rng.Intn(cfg.Topics)
+				case r < 0.30:
+					topic = segs[si].favoriteTopic
+				}
+				tag := drawTag(topic)
+				if !seen[tag] {
+					seen[tag] = true
+					tags = append(tags, tag)
+				}
+			}
+			rating := clampRating(3 + rng.NormFloat64())
+			if err := d.AddAction(u, it, rating, tags...); err != nil {
+				return nil, err
+			}
+			emitted++
+		}
+	}
+
+	return &World{
+		Dataset:       d,
+		SegmentOfUser: segOfUser,
+		ProfileOfItem: profOfItem,
+		TopicOfTag:    topicOfTag,
+	}, nil
+}
+
+func clampRating(r float64) float64 {
+	if r < 0.5 {
+		return 0.5
+	}
+	if r > 5 {
+		return 5
+	}
+	// Round to half stars like MovieLens 10M.
+	return float64(int(r*2+0.5)) / 2
+}
+
+func makeSegments(cfg Config, rng *rand.Rand) []segment {
+	seen := map[string]bool{}
+	segs := make([]segment, 0, cfg.UserSegments)
+	for len(segs) < cfg.UserSegments {
+		s := segment{
+			gender:        genders[rng.Intn(len(genders))],
+			age:           ageRanges[rng.Intn(len(ageRanges))],
+			occupation:    occupations[rng.Intn(len(occupations))],
+			state:         states[rng.Intn(len(states))],
+			favoriteTopic: rng.Intn(cfg.Topics),
+		}
+		key := s.gender + "|" + s.age + "|" + s.occupation + "|" + s.state
+		if !seen[key] {
+			seen[key] = true
+			segs = append(segs, s)
+		}
+	}
+	return segs
+}
+
+func makeItemProfiles(cfg Config, rng *rand.Rand) []itemProfile {
+	// Actor and director pools sized like the paper's filtered sets
+	// (697 actors, 210 directors), scaled down for small configs.
+	nActors, nDirectors := 697, 210
+	if cfg.ItemProfiles < 100 {
+		nActors, nDirectors = 60, 20
+	}
+	profiles := make([]itemProfile, cfg.ItemProfiles)
+	for p := range profiles {
+		g := rng.Intn(len(genres))
+		// Directors have a home genre so item groups correlate with
+		// coherent tag topics: director d works mostly in genre d%19.
+		dir := rng.Intn(nDirectors)
+		if rng.Float64() < 0.7 {
+			g = dir % len(genres)
+		}
+		profiles[p] = itemProfile{
+			genre:    genres[g],
+			actor:    fmt.Sprintf("actor-%03d", rng.Intn(nActors)),
+			director: fmt.Sprintf("director-%03d", dir),
+			topic:    g % cfg.Topics,
+		}
+	}
+	return profiles
+}

@@ -1,0 +1,227 @@
+package datagen
+
+import (
+	"testing"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/store"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		func() Config { c := Small(); c.Users = 0; return c }(),
+		func() Config { c := Small(); c.VocabSize = c.Topics - 1; return c }(),
+		func() Config { c := Small(); c.BurstMax = c.BurstMin - 1; return c }(),
+		func() Config { c := Small(); c.TagsMin = 0; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateSmallShape(t *testing.T) {
+	cfg := Small()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Dataset
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Users != cfg.Users || st.Items != cfg.Items || st.Actions != cfg.Actions {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VocabSize != cfg.VocabSize {
+		t.Fatalf("vocab = %d, want %d", st.VocabSize, cfg.VocabSize)
+	}
+	if st.AvgTags < float64(cfg.TagsMin) || st.AvgTags > float64(cfg.TagsMax) {
+		t.Fatalf("avg tags per action = %v", st.AvgTags)
+	}
+	if len(w.SegmentOfUser) != cfg.Users || len(w.ProfileOfItem) != cfg.Items {
+		t.Fatal("latent maps sized wrong")
+	}
+	if len(w.TopicOfTag) != cfg.VocabSize {
+		t.Fatalf("TopicOfTag len = %d", len(w.TopicOfTag))
+	}
+}
+
+func TestGenerateSchemaCardinalities(t *testing.T) {
+	w, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := w.Dataset.UserSchema
+	if us.AttrByName("gender").Cardinality() > 2 {
+		t.Fatal("gender cardinality")
+	}
+	if us.AttrByName("age").Cardinality() > 8 {
+		t.Fatal("age cardinality")
+	}
+	if us.AttrByName("occupation").Cardinality() > 21 {
+		t.Fatal("occupation cardinality")
+	}
+	if us.AttrByName("state").Cardinality() > 52 {
+		t.Fatal("state cardinality")
+	}
+	if w.Dataset.ItemSchema.AttrByName("genre").Cardinality() > 19 {
+		t.Fatal("genre cardinality")
+	}
+}
+
+func TestGenerateProducesGroups(t *testing.T) {
+	w, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.New(w.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := (&groups.Enumerator{Store: s, MinTuples: 5}).FullyDescribed()
+	// Burst generation must yield a healthy population of >=5-tuple groups;
+	// with 1500 actions in bursts of 5-9 we expect on the order of 100+.
+	if len(gs) < 40 {
+		t.Fatalf("only %d groups with >=5 tuples", len(gs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Actions) != len(b.Dataset.Actions) {
+		t.Fatal("action counts differ")
+	}
+	for i := range a.Dataset.Actions {
+		x, y := a.Dataset.Actions[i], b.Dataset.Actions[i]
+		if x.User != y.User || x.Item != y.Item || len(x.Tags) != len(y.Tags) {
+			t.Fatalf("action %d differs", i)
+		}
+	}
+	c := Small()
+	c.Seed = 2
+	alt, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Dataset.Actions {
+		if a.Dataset.Actions[i].User != alt.Dataset.Actions[i].User {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateTagTopicCoherence(t *testing.T) {
+	// Tags drawn within a single action should share a topic far more
+	// often than chance (0.7 of draws use the item profile's topic).
+	w, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, samePairs := 0, 0
+	for _, a := range w.Dataset.Actions {
+		for i := 0; i < len(a.Tags); i++ {
+			for j := i + 1; j < len(a.Tags); j++ {
+				pairs++
+				if w.TopicOfTag[a.Tags[i]] == w.TopicOfTag[a.Tags[j]] {
+					samePairs++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no multi-tag actions generated")
+	}
+	frac := float64(samePairs) / float64(pairs)
+	chance := 1.0 / float64(Small().Topics)
+	if frac < 3*chance {
+		t.Fatalf("same-topic pair fraction %v vs chance %v: no coherence", frac, chance)
+	}
+}
+
+func TestGenerateRatingsInRange(t *testing.T) {
+	w, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range w.Dataset.Actions {
+		if a.Rating < 0.5 || a.Rating > 5 {
+			t.Fatalf("action %d rating %v", i, a.Rating)
+		}
+		// Half-star granularity.
+		if r := a.Rating * 2; r != float64(int(r)) {
+			t.Fatalf("action %d rating %v not half-star", i, a.Rating)
+		}
+	}
+}
+
+func TestSparseCosine(t *testing.T) {
+	a := RatingVector{1: 5, 2: 3}
+	if got := SparseCosine(a, a); got < 0.999 {
+		t.Fatalf("self cosine = %v", got)
+	}
+	b := RatingVector{3: 4}
+	if got := SparseCosine(a, b); got != 0 {
+		t.Fatalf("disjoint cosine = %v", got)
+	}
+	if SparseCosine(nil, a) != 0 || SparseCosine(a, RatingVector{}) != 0 {
+		t.Fatal("empty vector cosine != 0")
+	}
+	// Symmetry.
+	c := RatingVector{1: 4, 3: 2}
+	if SparseCosine(a, c) != SparseCosine(c, a) {
+		t.Fatal("cosine not symmetric")
+	}
+}
+
+func TestNearestSource(t *testing.T) {
+	sources := []RatingVector{
+		{1: 5, 2: 5},
+		{10: 5, 11: 5},
+	}
+	targets := []RatingVector{
+		{1: 4, 2: 5, 3: 1},
+		{10: 5, 11: 4},
+		{99: 3}, // no overlap with any source
+	}
+	got := NearestSource(sources, targets)
+	if got[0] != 0 || got[1] != 1 || got[2] != -1 {
+		t.Fatalf("NearestSource = %v", got)
+	}
+}
+
+func TestSimulateTransferAccuracy(t *testing.T) {
+	res, err := SimulateTransfer(DefaultTransfer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assigned) != DefaultTransfer().TargetUsers {
+		t.Fatal("assignment length wrong")
+	}
+	// Segment-structured ratings must make the transfer much better than
+	// the 1/12 chance baseline.
+	if res.Accuracy < 0.5 {
+		t.Fatalf("transfer accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestSimulateTransferValidation(t *testing.T) {
+	if _, err := SimulateTransfer(TransferConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

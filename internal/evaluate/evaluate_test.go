@@ -1,0 +1,78 @@
+package evaluate
+
+import (
+	"strings"
+	"testing"
+
+	"tagdm/internal/datagen"
+	"tagdm/internal/groups"
+	"tagdm/internal/signature"
+	"tagdm/internal/store"
+)
+
+func pipeline(t *testing.T) (*datagen.World, *store.Store, []*groups.Group, []signature.Signature, int) {
+	t.Helper()
+	cfg := datagen.Small()
+	w, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.New(w.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := (&groups.Enumerator{Store: s, MinTuples: 5}).FullyDescribed()
+	lda, err := signature.TrainLDA(s, gs, cfg.Topics, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s, gs, signature.SummarizeAll(lda, s, gs), cfg.Topics
+}
+
+func TestRecoveryValidation(t *testing.T) {
+	w, s, gs, sigs, k := pipeline(t)
+	if _, err := Recovery(w, s, nil, nil, k); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Recovery(w, s, gs, sigs[:1], k); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRecoveryOfPlantedStructure(t *testing.T) {
+	w, s, gs, sigs, k := pipeline(t)
+	rep, err := Recovery(w, s, gs, sigs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups != len(gs) {
+		t.Fatalf("groups = %d", rep.Groups)
+	}
+	// The LDA pipeline must beat chance purity by a clear margin and
+	// produce positive cosine separation — this is the property the
+	// DESIGN.md substitution argument rests on.
+	if rep.Purity < rep.ChancePurity+0.1 {
+		t.Fatalf("purity %.3f does not beat chance %.3f", rep.Purity, rep.ChancePurity)
+	}
+	if rep.SeparationGap() < 0.1 {
+		t.Fatalf("separation gap %.3f too small (within %.3f, across %.3f)",
+			rep.SeparationGap(), rep.WithinCosine, rep.AcrossCosine)
+	}
+	if !strings.Contains(rep.String(), "purity") {
+		t.Fatal("String() missing fields")
+	}
+}
+
+func TestRecoveryFrequencyBaseline(t *testing.T) {
+	// Raw frequency signatures also separate the planted topics (tags of
+	// one topic co-occur), though in a much higher-dimensional space.
+	w, s, gs, _, k := pipeline(t)
+	freq := signature.SummarizeAll(signature.NewFrequency(s), s, gs)
+	rep, err := Recovery(w, s, gs, freq, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SeparationGap() <= 0 {
+		t.Fatalf("frequency separation gap %.3f", rep.SeparationGap())
+	}
+}

@@ -1,0 +1,280 @@
+// Package fdp implements the facility dispersion heuristics the paper's
+// DV-FDP algorithm family is built on (Section 5): the greedy MAX-AVG
+// dispersion heuristic of Ravi, Rosenkrantz and Tayi (WADS 1991), which
+// carries a factor-4 performance guarantee when distances satisfy the
+// triangle inequality, plus a MAX-MIN variant and an exact combinatorial
+// solver for cross-checking on small instances.
+//
+// Points are abstract: the algorithms consume a distance oracle DistFunc
+// (or a precomputed vec.Matrix) and work over indices, so callers can
+// disperse tag-signature vectors, groups, or anything else.
+package fdp
+
+import (
+	"fmt"
+	"math"
+
+	"tagdm/internal/vec"
+)
+
+// Accept is an optional admission predicate consulted before a candidate
+// point joins the selection. The DV-FDP-Fo algorithm folds user/item hard
+// constraints into the greedy add step through this hook; a nil Accept
+// admits everything.
+type Accept func(selected []int, candidate int) bool
+
+// Result is the outcome of a dispersion run.
+type Result struct {
+	// Selected holds the chosen point indices in selection order.
+	Selected []int
+	// AvgDistance is the mean pairwise distance of the selection.
+	AvgDistance float64
+	// MinDistance is the minimum pairwise distance of the selection.
+	MinDistance float64
+}
+
+// MaxAvg runs the greedy MAX-AVG dispersion heuristic: seed with the pair
+// joined by the maximum-weight edge, then repeatedly add the point whose
+// total distance to the current selection is maximal, until k points are
+// chosen or no admissible candidate remains. With a nil accept and metric
+// distances, the selection's average pairwise distance is within a factor
+// 4 of optimal (paper Theorem 4).
+func MaxAvg(n, k int, dist vec.DistFunc, accept Accept) (Result, error) {
+	if err := validate(n, k); err != nil {
+		return Result{}, err
+	}
+	selected := seedPair(n, dist, accept)
+	if len(selected) < 2 {
+		return Result{}, fmt.Errorf("fdp: no admissible seed pair among %d points", n)
+	}
+	inSel := make([]bool, n)
+	for _, s := range selected {
+		inSel[s] = true
+	}
+	// sumDist[c] caches the total distance from candidate c to the current
+	// selection, updated incrementally after each add: O(n) per iteration.
+	sumDist := make([]float64, n)
+	for c := 0; c < n; c++ {
+		if inSel[c] {
+			continue
+		}
+		for _, s := range selected {
+			sumDist[c] += dist(c, s)
+		}
+	}
+	for len(selected) < k {
+		best, bestSum := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if inSel[c] {
+				continue
+			}
+			if sumDist[c] > bestSum {
+				if accept != nil && !accept(selected, c) {
+					continue
+				}
+				best, bestSum = c, sumDist[c]
+			}
+		}
+		if best == -1 {
+			break // no admissible candidate left
+		}
+		selected = append(selected, best)
+		inSel[best] = true
+		for c := 0; c < n; c++ {
+			if !inSel[c] {
+				sumDist[c] += dist(c, best)
+			}
+		}
+	}
+	return summarize(selected, dist), nil
+}
+
+// MaxMin runs the greedy MAX-MIN dispersion heuristic: same seeding, but
+// each step adds the point maximizing the minimum distance to the current
+// selection. This 2-approximates the MAX-MIN objective on metric inputs.
+func MaxMin(n, k int, dist vec.DistFunc, accept Accept) (Result, error) {
+	if err := validate(n, k); err != nil {
+		return Result{}, err
+	}
+	selected := seedPair(n, dist, accept)
+	if len(selected) < 2 {
+		return Result{}, fmt.Errorf("fdp: no admissible seed pair among %d points", n)
+	}
+	inSel := make([]bool, n)
+	for _, s := range selected {
+		inSel[s] = true
+	}
+	minDist := make([]float64, n)
+	for c := 0; c < n; c++ {
+		if inSel[c] {
+			continue
+		}
+		minDist[c] = math.Inf(1)
+		for _, s := range selected {
+			if d := dist(c, s); d < minDist[c] {
+				minDist[c] = d
+			}
+		}
+	}
+	for len(selected) < k {
+		best, bestMin := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if inSel[c] {
+				continue
+			}
+			if minDist[c] > bestMin {
+				if accept != nil && !accept(selected, c) {
+					continue
+				}
+				best, bestMin = c, minDist[c]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		selected = append(selected, best)
+		inSel[best] = true
+		for c := 0; c < n; c++ {
+			if !inSel[c] {
+				if d := dist(c, best); d < minDist[c] {
+					minDist[c] = d
+				}
+			}
+		}
+	}
+	return summarize(selected, dist), nil
+}
+
+// RandomSeedMaxAvg is the ablation variant of MaxAvg that seeds with a
+// fixed arbitrary pair (0, 1) instead of scanning for the maximum edge.
+// It exists to quantify how much the max-edge seed of the paper's
+// Algorithm 2 contributes to result quality.
+func RandomSeedMaxAvg(n, k int, dist vec.DistFunc, accept Accept) (Result, error) {
+	if err := validate(n, k); err != nil {
+		return Result{}, err
+	}
+	if accept != nil && !accept([]int{0}, 1) {
+		return MaxAvg(n, k, dist, accept) // fall back to admissible seeding
+	}
+	selected := []int{0, 1}
+	inSel := make([]bool, n)
+	inSel[0], inSel[1] = true, true
+	sumDist := make([]float64, n)
+	for c := 2; c < n; c++ {
+		sumDist[c] = dist(c, 0) + dist(c, 1)
+	}
+	for len(selected) < k {
+		best, bestSum := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if inSel[c] {
+				continue
+			}
+			if sumDist[c] > bestSum {
+				if accept != nil && !accept(selected, c) {
+					continue
+				}
+				best, bestSum = c, sumDist[c]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		selected = append(selected, best)
+		inSel[best] = true
+		for c := 0; c < n; c++ {
+			if !inSel[c] {
+				sumDist[c] += dist(c, best)
+			}
+		}
+	}
+	return summarize(selected, dist), nil
+}
+
+// Exact enumerates all k-subsets and returns the one maximizing average
+// pairwise distance. It is exponential and intended for tests and tiny
+// instances; n choose k is capped at ~50M combinations.
+func Exact(n, k int, dist vec.DistFunc) (Result, error) {
+	if err := validate(n, k); err != nil {
+		return Result{}, err
+	}
+	if c := binomial(n, k); c <= 0 || c > 50_000_000 {
+		return Result{}, fmt.Errorf("fdp: exact enumeration of C(%d,%d) too large", n, k)
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := make([]int, k)
+	bestAvg := math.Inf(-1)
+	for {
+		if avg := vec.AvgPairwise(idx, dist); avg > bestAvg {
+			bestAvg = avg
+			copy(best, idx)
+		}
+		// Next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return summarize(best, dist), nil
+}
+
+func validate(n, k int) error {
+	if k < 2 {
+		return fmt.Errorf("fdp: k must be >= 2, got %d", k)
+	}
+	if n < k {
+		return fmt.Errorf("fdp: need at least k=%d points, have %d", k, n)
+	}
+	return nil
+}
+
+// seedPair finds the admissible pair with maximum distance.
+func seedPair(n int, dist vec.DistFunc, accept Accept) []int {
+	bi, bj := -1, -1
+	best := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > best {
+				if accept != nil && (!accept([]int{i}, j) || !accept([]int{j}, i)) {
+					continue
+				}
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	if bi == -1 {
+		return nil
+	}
+	return []int{bi, bj}
+}
+
+func summarize(selected []int, dist vec.DistFunc) Result {
+	return Result{
+		Selected:    selected,
+		AvgDistance: vec.AvgPairwise(selected, dist),
+		MinDistance: vec.MinPairwise(selected, dist),
+	}
+}
+
+func binomial(n, k int) int64 {
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+		if c < 0 || c > 1<<60 {
+			return -1
+		}
+	}
+	return c
+}

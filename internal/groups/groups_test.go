@@ -1,0 +1,246 @@
+package groups
+
+import (
+	"testing"
+
+	"tagdm/internal/model"
+	"tagdm/internal/store"
+)
+
+// buildStore creates a store where two (user-profile, item-profile)
+// combinations repeat often enough to pass a min-tuple threshold and the
+// rest are singletons.
+func buildStore(t *testing.T) *store.Store {
+	t.Helper()
+	d := model.NewDataset(
+		model.NewSchema("gender", "age"),
+		model.NewSchema("genre"),
+	)
+	addUser := func(g, a string) int32 {
+		id, err := d.AddUser(map[string]string{"gender": g, "age": a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	addItem := func(genre string) int32 {
+		id, err := d.AddItem(map[string]string{"genre": genre})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// Two male-teen users, one female-teen user.
+	mt1 := addUser("male", "teen")
+	mt2 := addUser("male", "teen")
+	ft := addUser("female", "teen")
+	action := addItem("action")
+	comedy := addItem("comedy")
+
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// (male,teen,action) occurs 3 times; (female,teen,action) twice;
+	// (male,teen,comedy) once.
+	must(d.AddAction(mt1, action, 0, "gun"))
+	must(d.AddAction(mt2, action, 0, "fight"))
+	must(d.AddAction(mt1, action, 0, "explosions"))
+	must(d.AddAction(ft, action, 0, "violence"))
+	must(d.AddAction(ft, action, 0, "gory"))
+	must(d.AddAction(mt2, comedy, 0, "funny"))
+	s, err := store.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFullyDescribedEnumeration(t *testing.T) {
+	s := buildStore(t)
+	e := &Enumerator{Store: s, MinTuples: 2}
+	gs := e.FullyDescribed()
+	if len(gs) != 2 {
+		t.Fatalf("got %d groups, want 2", len(gs))
+	}
+	// Sorted by descending size: male-teen-action (3) first.
+	if gs[0].Size() != 3 || gs[1].Size() != 2 {
+		t.Fatalf("sizes = %d, %d", gs[0].Size(), gs[1].Size())
+	}
+	if got := gs[0].Describe(s); got != "{gender=male, age=teen, genre=action}" {
+		t.Fatalf("top group = %q", got)
+	}
+	if gs[0].ID != 0 || gs[1].ID != 1 {
+		t.Fatalf("ids = %d, %d", gs[0].ID, gs[1].ID)
+	}
+	// With MinTuples 1 the comedy singleton appears too.
+	gs1 := (&Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	if len(gs1) != 3 {
+		t.Fatalf("min=1: got %d groups", len(gs1))
+	}
+}
+
+func TestEnumerationWithin(t *testing.T) {
+	s := buildStore(t)
+	p, err := s.ParsePredicate(map[string]string{"gender": "female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := s.Eval(p)
+	gs := (&Enumerator{Store: s, MinTuples: 1, Within: within}).FullyDescribed()
+	if len(gs) != 1 {
+		t.Fatalf("got %d groups within female bin", len(gs))
+	}
+	if gs[0].Size() != 2 {
+		t.Fatalf("female group size = %d", gs[0].Size())
+	}
+}
+
+func TestSingleAttributeEnumeration(t *testing.T) {
+	s := buildStore(t)
+	gs := (&Enumerator{Store: s, MinTuples: 1}).SingleAttribute()
+	// Values: gender{male, female}, age{teen}, genre{action, comedy} -> 5.
+	if len(gs) != 5 {
+		t.Fatalf("got %d single-attribute groups, want 5", len(gs))
+	}
+	// Largest is age=teen covering all 6 tuples.
+	if gs[0].Size() != 6 || gs[0].Describe(s) != "{age=teen}" {
+		t.Fatalf("top = %q size %d", gs[0].Describe(s), gs[0].Size())
+	}
+}
+
+func TestGroupAttributeAccessors(t *testing.T) {
+	s := buildStore(t)
+	gs := (&Enumerator{Store: s, MinTuples: 2}).FullyDescribed()
+	g := gs[0] // male, teen, action
+	if g.UserValue(0) == model.Unknown || g.UserValue(1) == model.Unknown {
+		t.Fatal("fully described group missing user values")
+	}
+	if g.ItemValue(0) == model.Unknown {
+		t.Fatal("fully described group missing item value")
+	}
+	single := (&Enumerator{Store: s, MinTuples: 1}).SingleAttribute()[0] // {age=teen}
+	if single.UserValue(0) != model.Unknown {
+		t.Fatal("unconstrained attribute should be Unknown")
+	}
+}
+
+func TestSupportAndSets(t *testing.T) {
+	s := buildStore(t)
+	gs := (&Enumerator{Store: s, MinTuples: 2}).FullyDescribed()
+	if got := Support(gs); got != 5 {
+		t.Fatalf("Support = %d, want 5", got)
+	}
+	bag := TagBag(s, gs[0])
+	if len(bag) != 3 {
+		t.Fatalf("male-teen-action bag has %d tags", len(bag))
+	}
+	items := ItemSet(s, gs[0])
+	if len(items) != 1 {
+		t.Fatalf("ItemSet = %d items", len(items))
+	}
+	users := UserSet(s, gs[0])
+	if len(users) != 2 {
+		t.Fatalf("UserSet = %d users", len(users))
+	}
+}
+
+func TestEnumerationDeterministic(t *testing.T) {
+	s := buildStore(t)
+	a := (&Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	b := (&Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].Describe(s) != b[i].Describe(s) {
+			t.Fatalf("order differs at %d: %q vs %q", i, a[i].Describe(s), b[i].Describe(s))
+		}
+	}
+}
+
+// Property: fully-described groups partition the tuples they cover — no
+// tuple belongs to two groups, and with MinTuples=1 every tuple belongs to
+// exactly one.
+func TestQuickFullyDescribedPartition(t *testing.T) {
+	s := buildStore(t)
+	gs := (&Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	owner := make([]int, s.Len())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for gi, g := range gs {
+		for _, tu := range g.Members {
+			if owner[tu] != -1 {
+				t.Fatalf("tuple %d in groups %d and %d", tu, owner[tu], gi)
+			}
+			owner[tu] = gi
+		}
+	}
+	for tu, gi := range owner {
+		if gi == -1 {
+			t.Fatalf("tuple %d not covered", tu)
+		}
+	}
+	// Consequence exploited by the engine: group support of disjoint
+	// groups equals the size sum.
+	sum := 0
+	for _, g := range gs {
+		sum += g.Size()
+	}
+	if got := Support(gs); got != sum {
+		t.Fatalf("support %d != size sum %d for disjoint groups", got, sum)
+	}
+}
+
+// Property: a group's bitmap and member list always agree.
+func TestQuickBitmapMemberAgreement(t *testing.T) {
+	s := buildStore(t)
+	for _, min := range []int{1, 2, 3} {
+		for _, g := range (&Enumerator{Store: s, MinTuples: min}).FullyDescribed() {
+			if g.Tuples.Count() != len(g.Members) {
+				t.Fatalf("bitmap count %d != members %d", g.Tuples.Count(), len(g.Members))
+			}
+			for _, tu := range g.Members {
+				if !g.Tuples.Contains(tu) {
+					t.Fatalf("member %d missing from bitmap", tu)
+				}
+			}
+		}
+	}
+}
+
+func TestDescribableSubset(t *testing.T) {
+	s := buildStore(t)
+	cols, err := ColumnsByName(s, "gender", "genre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := (&Enumerator{Store: s, MinTuples: 1}).Describable(cols)
+	// Combinations present: (male, action) x3, (female, action) x2,
+	// (male, comedy) x1 -> 3 groups.
+	if len(gs) != 3 {
+		t.Fatalf("got %d groups", len(gs))
+	}
+	if got := gs[0].Describe(s); got != "{gender=male, genre=action}" {
+		t.Fatalf("top = %q", got)
+	}
+	// The age attribute is unconstrained in these groups.
+	if gs[0].UserValue(1) != model.Unknown {
+		t.Fatal("age should be unconstrained")
+	}
+	// Equivalent to FullyDescribed when all columns are given.
+	all := (&Enumerator{Store: s, MinTuples: 1}).Describable(s.Columns())
+	full := (&Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	if len(all) != len(full) {
+		t.Fatalf("all-columns Describable %d != FullyDescribed %d", len(all), len(full))
+	}
+}
+
+func TestColumnsByNameErrors(t *testing.T) {
+	s := buildStore(t)
+	if _, err := ColumnsByName(s, "gender", "height"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}

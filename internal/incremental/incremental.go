@@ -1,0 +1,194 @@
+// Package incremental maintains a TagDM analysis under a stream of new
+// tagging actions — the paper's Section 8 future work ("handle updates and
+// insertions of new users, items and tags"). Instead of rebuilding the
+// store, group enumeration and signatures from scratch on every insert, a
+// Maintainer:
+//
+//   - appends the action to the columnar store (posting lists update in
+//     place),
+//   - routes the new tuple to its fully-described group, creating the
+//     group when the combination is new,
+//   - tracks which groups crossed the min-tuple threshold ("activated")
+//     or changed ("dirty") since the last refresh, and
+//   - on Refresh, re-summarizes only the dirty groups and hands back a
+//     consistent engine over the updated universe.
+//
+// Signature invalidation is the expensive part; batching inserts between
+// refreshes amortizes it, which the benchmarks in bench_test.go quantify.
+package incremental
+
+import (
+	"fmt"
+
+	"tagdm/internal/core"
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/signature"
+	"tagdm/internal/store"
+)
+
+// Maintainer tracks a store and its group universe across inserts.
+type Maintainer struct {
+	dataset   *model.Dataset
+	store     *store.Store
+	minTuples int
+	sum       signature.Summarizer
+
+	// byKey indexes every seen full attribute assignment, including
+	// groups still below the threshold.
+	byKey map[string]*pending
+
+	// active is the current above-threshold group list in a stable order
+	// (activation order); IDs are dense in this slice.
+	active []*groups.Group
+
+	// sigs[i] is the signature of active[i]; dirty marks stale entries.
+	sigs  []signature.Signature
+	dirty map[int]bool
+
+	inserts int
+}
+
+// pending is a group that may or may not have crossed the threshold yet.
+type pending struct {
+	group  *groups.Group
+	active bool
+}
+
+// New builds a maintainer over a dataset. The initial universe enumerates
+// fully-described groups with at least minTuples tuples and summarizes
+// them with sum.
+func New(ds *model.Dataset, minTuples int, sum signature.Summarizer) (*Maintainer, error) {
+	if minTuples < 1 {
+		return nil, fmt.Errorf("incremental: minTuples must be >= 1")
+	}
+	st, err := store.New(ds)
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		dataset:   ds,
+		store:     st,
+		minTuples: minTuples,
+		sum:       sum,
+		byKey:     make(map[string]*pending),
+		dirty:     make(map[int]bool),
+	}
+	// Seed byKey with every existing tuple, then activate qualifying
+	// groups in deterministic (enumeration) order.
+	enum := (&groups.Enumerator{Store: st, MinTuples: 1}).FullyDescribed()
+	for _, g := range enum {
+		p := &pending{group: g}
+		m.byKey[m.keyOfGroup(g)] = p
+	}
+	for _, g := range enum {
+		if g.Size() >= minTuples {
+			m.activate(m.byKey[m.keyOfGroup(g)])
+		}
+	}
+	m.resummarize()
+	return m, nil
+}
+
+// keyOfGroup renders the full attribute assignment of a group.
+func (m *Maintainer) keyOfGroup(g *groups.Group) string {
+	key := ""
+	for _, t := range g.Pred.Terms {
+		key += fmt.Sprintf("%d/%d/%d|", t.Col.Side, t.Col.Index, t.Value)
+	}
+	return key
+}
+
+// keyOfTuple renders the full attribute assignment of tuple t.
+func (m *Maintainer) keyOfTuple(t int) (string, store.Predicate) {
+	cols := m.store.Columns()
+	pred := store.Predicate{Terms: make([]store.Term, len(cols))}
+	key := ""
+	for ci, c := range cols {
+		v := m.store.Value(t, c)
+		pred.Terms[ci] = store.Term{Col: c, Value: v}
+		key += fmt.Sprintf("%d/%d/%d|", c.Side, c.Index, v)
+	}
+	return key, pred
+}
+
+func (m *Maintainer) activate(p *pending) {
+	p.active = true
+	p.group.ID = len(m.active)
+	m.active = append(m.active, p.group)
+	m.sigs = append(m.sigs, signature.Signature{})
+	m.dirty[p.group.ID] = true
+}
+
+// Insert appends one tagging action and updates the group universe. The
+// action's user and item must already exist in the dataset (add them to
+// the dataset first; new attribute values are interned automatically).
+func (m *Maintainer) Insert(a model.TaggingAction) error {
+	if err := m.store.Append(m.dataset, a); err != nil {
+		return err
+	}
+	t := m.store.Len() - 1
+	key, pred := m.keyOfTuple(t)
+	p, ok := m.byKey[key]
+	if !ok {
+		bm := store.NewBitmap(m.store.Len())
+		p = &pending{group: &groups.Group{ID: -1, Pred: pred, Tuples: bm}}
+		m.byKey[key] = p
+	}
+	p.group.Tuples.Grow(m.store.Len())
+	p.group.Tuples.Set(t)
+	p.group.Members = append(p.group.Members, t)
+	if !p.active && p.group.Size() >= m.minTuples {
+		m.activate(p)
+	} else if p.active {
+		m.dirty[p.group.ID] = true
+	}
+	m.inserts++
+	return nil
+}
+
+// Stats reports maintenance counters.
+type Stats struct {
+	// Inserts counts actions inserted since construction.
+	Inserts int
+	// ActiveGroups is the current above-threshold group count.
+	ActiveGroups int
+	// PendingGroups counts below-threshold assignments being tracked.
+	PendingGroups int
+	// DirtyGroups counts groups whose signatures are stale.
+	DirtyGroups int
+}
+
+// Stats returns the current counters.
+func (m *Maintainer) Stats() Stats {
+	return Stats{
+		Inserts:       m.inserts,
+		ActiveGroups:  len(m.active),
+		PendingGroups: len(m.byKey) - len(m.active),
+		DirtyGroups:   len(m.dirty),
+	}
+}
+
+// resummarize recomputes signatures for dirty groups only.
+func (m *Maintainer) resummarize() {
+	for id := range m.dirty {
+		m.sigs[id] = m.sum.Summarize(m.store, m.active[id])
+	}
+	m.dirty = make(map[int]bool)
+}
+
+// Refresh re-summarizes dirty groups and returns a consistent engine over
+// the current universe. The returned engine shares the maintainer's store
+// and groups; run queries before the next batch of inserts or call
+// Refresh again.
+func (m *Maintainer) Refresh() (*core.Engine, error) {
+	m.resummarize()
+	return core.NewEngine(m.store, m.active, m.sigs)
+}
+
+// Store exposes the underlying store (read-only use).
+func (m *Maintainer) Store() *store.Store { return m.store }
+
+// ActiveGroups returns the current above-threshold groups; the slice is
+// shared and must not be mutated.
+func (m *Maintainer) ActiveGroups() []*groups.Group { return m.active }

@@ -1,0 +1,279 @@
+package incremental
+
+import (
+	"testing"
+
+	"tagdm/internal/core"
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/signature"
+	"tagdm/internal/store"
+)
+
+// world builds a dataset where one (profile, item) pair already clears the
+// threshold, one sits just below it, and head-room exists to add more.
+func world(t *testing.T) (*model.Dataset, int32, int32, int32) {
+	t.Helper()
+	d := model.NewDataset(model.NewSchema("gender"), model.NewSchema("genre"))
+	m, err := d.AddUser(map[string]string{"gender": "male"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.AddUser(map[string]string{"gender": "female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, err := d.AddItem(map[string]string{"genre": "action"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// male-action: 3 tuples (active at threshold 3).
+	for i := 0; i < 3; i++ {
+		must(d.AddAction(m, action, 0, "gun"))
+	}
+	// female-action: 2 tuples (pending at threshold 3).
+	for i := 0; i < 2; i++ {
+		must(d.AddAction(f, action, 0, "violence"))
+	}
+	return d, m, f, action
+}
+
+func newSummarizer(t *testing.T, d *model.Dataset) signature.Summarizer {
+	t.Helper()
+	st, err := store.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signature.NewFrequency(st)
+}
+
+func TestNewSeedsExistingGroups(t *testing.T) {
+	d, _, _, _ := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.ActiveGroups != 1 {
+		t.Fatalf("active = %d, want 1", st.ActiveGroups)
+	}
+	if st.PendingGroups != 1 {
+		t.Fatalf("pending = %d, want 1", st.PendingGroups)
+	}
+	if st.DirtyGroups != 0 {
+		t.Fatalf("dirty after construction = %d", st.DirtyGroups)
+	}
+}
+
+func TestMinTuplesValidation(t *testing.T) {
+	d, _, _, _ := world(t)
+	if _, err := New(d, 0, newSummarizer(t, d)); err == nil {
+		t.Fatal("minTuples 0 accepted")
+	}
+}
+
+func TestInsertActivatesPendingGroup(t *testing.T) {
+	d, _, f, action := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagID := d.Vocab.ID("gory")
+	// Third female-action tuple crosses the threshold.
+	if err := m.Insert(model.TaggingAction{User: f, Item: action, Tags: []model.TagID{tagID}}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.ActiveGroups != 2 {
+		t.Fatalf("active = %d, want 2", st.ActiveGroups)
+	}
+	if st.Inserts != 1 {
+		t.Fatalf("inserts = %d", st.Inserts)
+	}
+	// The activated group must be queryable after Refresh.
+	eng, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Groups) != 2 {
+		t.Fatalf("engine groups = %d", len(eng.Groups))
+	}
+	for i, g := range eng.Groups {
+		if g.ID != i {
+			t.Fatalf("group %d has ID %d", i, g.ID)
+		}
+	}
+}
+
+func TestInsertNewCombinationCreatesGroup(t *testing.T) {
+	d, male, _, _ := world(t)
+	comedy, err := d.AddItem(map[string]string{"genre": "comedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(d, 2, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().ActiveGroups
+	funny := d.Vocab.ID("funny")
+	for i := 0; i < 2; i++ {
+		if err := m.Insert(model.TaggingAction{User: male, Item: comedy, Tags: []model.TagID{funny}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().ActiveGroups; got != before+1 {
+		t.Fatalf("active = %d, want %d", got, before+1)
+	}
+}
+
+func TestInsertMarksDirtyAndRefreshClears(t *testing.T) {
+	d, male, _, action := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gun := d.Vocab.ID("gun")
+	if err := m.Insert(model.TaggingAction{User: male, Item: action, Tags: []model.TagID{gun}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().DirtyGroups != 1 {
+		t.Fatalf("dirty = %d", m.Stats().DirtyGroups)
+	}
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().DirtyGroups != 0 {
+		t.Fatal("refresh did not clear dirty set")
+	}
+}
+
+func TestSignaturesTrackInserts(t *testing.T) {
+	d, male, _, action := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gun := d.Vocab.ID("gun")
+	var gunWeightBefore float64
+	if int(gun) < len(eng.Sigs[0].Weights) {
+		gunWeightBefore = eng.Sigs[0].Weights[gun]
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Insert(model.TaggingAction{User: male, Item: action, Tags: []model.TagID{gun}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng2, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.Sigs[0].Weights[gun]; got <= gunWeightBefore {
+		t.Fatalf("gun weight did not grow: %v -> %v", gunWeightBefore, got)
+	}
+}
+
+func TestMaintainerMatchesRebuild(t *testing.T) {
+	// After a batch of inserts, the maintainer's group universe must be
+	// identical (same descriptions, same sizes) to a from-scratch
+	// enumeration of the same data.
+	d, male, f, action := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gun := d.Vocab.ID("gun")
+	gory := d.Vocab.ID("gory")
+	for i := 0; i < 4; i++ {
+		for _, a := range []model.TaggingAction{
+			{User: male, Item: action, Tags: []model.TagID{gun}},
+			{User: f, Item: action, Tags: []model.TagID{gory}},
+		} {
+			if err := m.Insert(a); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror into the dataset so the from-scratch rebuild sees
+			// the same data.
+			if err := d.AddActionIDs(a.User, a.Item, a.Rating, a.Tags); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh, err := store.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (&groups.Enumerator{Store: fresh, MinTuples: 3}).FullyDescribed()
+	got := m.ActiveGroups()
+	if len(got) != len(want) {
+		t.Fatalf("maintainer has %d groups, rebuild has %d", len(got), len(want))
+	}
+	wantSizes := map[string]int{}
+	for _, g := range want {
+		wantSizes[fresh.Describe(g.Pred)] = g.Size()
+	}
+	for _, g := range got {
+		desc := m.Store().Describe(g.Pred)
+		if wantSizes[desc] != g.Size() {
+			t.Fatalf("group %s: maintainer size %d, rebuild size %d",
+				desc, g.Size(), wantSizes[desc])
+		}
+	}
+}
+
+func TestRefreshEngineSolves(t *testing.T) {
+	d, male, f, action := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gory := d.Vocab.ID("gory")
+	gun := d.Vocab.ID("gun")
+	for i := 0; i < 3; i++ {
+		if err := m.Insert(model.TaggingAction{User: f, Item: action, Tags: []model.TagID{gory}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Insert(model.TaggingAction{User: male, Item: action, Tags: []model.TagID{gun}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Problem 6 on the maintained universe: same items, diverse tags.
+	spec, err := core.PaperProblem(6, 2, 4, 0.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("null result on maintained engine")
+	}
+	if res.Objective < 0.9 {
+		t.Fatalf("objective = %v; male/female action tags should be disjoint", res.Objective)
+	}
+}
+
+func TestInsertRejectsUnknownReferences(t *testing.T) {
+	d, _, _, _ := world(t)
+	m, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(model.TaggingAction{User: 99, Item: 0}); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Package lda implements Latent Dirichlet Allocation (Blei, Ng, Jordan 2003)
+// with a collapsed Gibbs sampler, used by the TagDM framework to summarize a
+// group's tag multiset into a topic-distribution signature (paper Section
+// 2.1.2; the experiments use 25 global topics).
+//
+// The implementation is deliberately self-contained: a corpus is a slice of
+// documents, each a slice of word ids; Train burns in the sampler and
+// freezes topic-word statistics; Infer folds a new document in against the
+// frozen statistics, which is how per-group signatures are produced after
+// fitting the model on the whole dataset.
+package lda
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Document is a bag of word ids, with repetitions.
+type Document []int
+
+// Corpus is a collection of documents over a vocabulary of VocabSize words.
+type Corpus struct {
+	Docs      []Document
+	VocabSize int
+}
+
+// Config controls training.
+type Config struct {
+	// Topics is K, the number of latent topics.
+	Topics int
+	// Alpha is the symmetric document-topic Dirichlet prior (default 0.1,
+	// suited to short documents such as group tag multisets).
+	Alpha float64
+	// Beta is the symmetric topic-word Dirichlet prior (default 0.01).
+	Beta float64
+	// Iterations is the number of Gibbs sweeps (default 200).
+	Iterations int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 200
+	}
+	return c
+}
+
+// Model is a trained LDA model: frozen topic-word counts plus priors.
+type Model struct {
+	K         int
+	VocabSize int
+	Alpha     float64
+	Beta      float64
+
+	// topicWord[k][w] = count of word w assigned to topic k at the end of
+	// training. topicTotals[k] = sum over w.
+	topicWord   [][]int
+	topicTotals []int
+
+	// docTopic distributions of the training documents (theta), row-major
+	// K floats per document.
+	docTheta [][]float64
+}
+
+// Train runs the collapsed Gibbs sampler on corpus and returns the model.
+func Train(corpus Corpus, cfg Config) (*Model, error) {
+	if cfg.Topics < 1 {
+		return nil, errors.New("lda: Topics must be >= 1")
+	}
+	if corpus.VocabSize < 1 {
+		return nil, errors.New("lda: VocabSize must be >= 1")
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	K, V := cfg.Topics, corpus.VocabSize
+
+	m := &Model{K: K, VocabSize: V, Alpha: cfg.Alpha, Beta: cfg.Beta}
+	m.topicWord = make([][]int, K)
+	for k := range m.topicWord {
+		m.topicWord[k] = make([]int, V)
+	}
+	m.topicTotals = make([]int, K)
+
+	nDocs := len(corpus.Docs)
+	docTopic := make([][]int, nDocs)
+	docLens := make([]int, nDocs)
+	assign := make([][]int, nDocs) // topic of each token
+
+	// Random initialization.
+	for d, doc := range corpus.Docs {
+		docTopic[d] = make([]int, K)
+		assign[d] = make([]int, len(doc))
+		docLens[d] = len(doc)
+		for i, w := range doc {
+			if w < 0 || w >= V {
+				return nil, errors.New("lda: word id out of vocabulary range")
+			}
+			k := rng.Intn(K)
+			assign[d][i] = k
+			docTopic[d][k]++
+			m.topicWord[k][w]++
+			m.topicTotals[k]++
+		}
+	}
+
+	probs := make([]float64, K)
+	vBeta := float64(V) * cfg.Beta
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range corpus.Docs {
+			for i, w := range doc {
+				old := assign[d][i]
+				docTopic[d][old]--
+				m.topicWord[old][w]--
+				m.topicTotals[old]--
+
+				var sum float64
+				for k := 0; k < K; k++ {
+					p := (float64(docTopic[d][k]) + cfg.Alpha) *
+						(float64(m.topicWord[k][w]) + cfg.Beta) /
+						(float64(m.topicTotals[k]) + vBeta)
+					probs[k] = p
+					sum += p
+				}
+				k := sample(rng, probs, sum)
+				assign[d][i] = k
+				docTopic[d][k]++
+				m.topicWord[k][w]++
+				m.topicTotals[k]++
+			}
+		}
+	}
+
+	// Freeze per-document theta.
+	m.docTheta = make([][]float64, nDocs)
+	for d := range corpus.Docs {
+		theta := make([]float64, K)
+		denom := float64(docLens[d]) + float64(K)*cfg.Alpha
+		for k := 0; k < K; k++ {
+			theta[k] = (float64(docTopic[d][k]) + cfg.Alpha) / denom
+		}
+		m.docTheta[d] = theta
+	}
+	return m, nil
+}
+
+// sample draws an index proportionally to probs (which sum to sum).
+func sample(rng *rand.Rand, probs []float64, sum float64) int {
+	u := rng.Float64() * sum
+	var acc float64
+	for k, p := range probs {
+		acc += p
+		if u < acc {
+			return k
+		}
+	}
+	return len(probs) - 1
+}
+
+// DocTheta returns the trained topic distribution of training document d.
+func (m *Model) DocTheta(d int) []float64 {
+	out := make([]float64, m.K)
+	copy(out, m.docTheta[d])
+	return out
+}
+
+// TopicWordProb returns phi[k][w], the smoothed probability of word w under
+// topic k.
+func (m *Model) TopicWordProb(k, w int) float64 {
+	return (float64(m.topicWord[k][w]) + m.Beta) /
+		(float64(m.topicTotals[k]) + float64(m.VocabSize)*m.Beta)
+}
+
+// TopWords returns the n most probable word ids of topic k, most probable
+// first. Useful for labeling topics in reports.
+func (m *Model) TopWords(k, n int) []int {
+	type wp struct {
+		w int
+		p float64
+	}
+	all := make([]wp, m.VocabSize)
+	for w := 0; w < m.VocabSize; w++ {
+		all[w] = wp{w, m.TopicWordProb(k, w)}
+	}
+	// Partial selection sort: n is small.
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].p > all[best].p {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// Infer folds doc into the frozen model with a short Gibbs run and returns
+// its topic distribution theta (length K, sums to 1). This is how group tag
+// signatures are produced: the group's tag multiset is one document.
+func (m *Model) Infer(doc Document, iterations int, seed int64) []float64 {
+	theta := make([]float64, m.K)
+	if len(doc) == 0 {
+		// Uniform distribution for an empty tag set: no evidence.
+		for k := range theta {
+			theta[k] = 1.0 / float64(m.K)
+		}
+		return theta
+	}
+	if iterations <= 0 {
+		iterations = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	docTopic := make([]int, m.K)
+	assign := make([]int, len(doc))
+	for i := range doc {
+		k := rng.Intn(m.K)
+		assign[i] = k
+		docTopic[k]++
+	}
+	probs := make([]float64, m.K)
+	vBeta := float64(m.VocabSize) * m.Beta
+	for it := 0; it < iterations; it++ {
+		for i, w := range doc {
+			if w < 0 || w >= m.VocabSize {
+				continue // unseen word: contributes nothing
+			}
+			old := assign[i]
+			docTopic[old]--
+			var sum float64
+			for k := 0; k < m.K; k++ {
+				p := (float64(docTopic[k]) + m.Alpha) *
+					(float64(m.topicWord[k][w]) + m.Beta) /
+					(float64(m.topicTotals[k]) + vBeta)
+				probs[k] = p
+				sum += p
+			}
+			k := sample(rng, probs, sum)
+			assign[i] = k
+			docTopic[k]++
+		}
+	}
+	denom := float64(len(doc)) + float64(m.K)*m.Alpha
+	for k := 0; k < m.K; k++ {
+		theta[k] = (float64(docTopic[k]) + m.Alpha) / denom
+	}
+	return theta
+}

@@ -1,0 +1,217 @@
+package lda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthCorpus builds a corpus from two well-separated latent topics: words
+// [0, half) belong to topic A, words [half, V) to topic B. Each document
+// draws from exactly one topic.
+func synthCorpus(nDocs, docLen, vocab int, seed int64) (Corpus, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	half := vocab / 2
+	docs := make([]Document, nDocs)
+	labels := make([]int, nDocs)
+	for d := range docs {
+		topic := d % 2
+		labels[d] = topic
+		doc := make(Document, docLen)
+		for i := range doc {
+			if topic == 0 {
+				doc[i] = rng.Intn(half)
+			} else {
+				doc[i] = half + rng.Intn(vocab-half)
+			}
+		}
+		docs[d] = doc
+	}
+	return Corpus{Docs: docs, VocabSize: vocab}, labels
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(Corpus{VocabSize: 10}, Config{Topics: 0}); err == nil {
+		t.Fatal("Topics=0 accepted")
+	}
+	if _, err := Train(Corpus{VocabSize: 0}, Config{Topics: 2}); err == nil {
+		t.Fatal("VocabSize=0 accepted")
+	}
+	if _, err := Train(Corpus{Docs: []Document{{99}}, VocabSize: 10}, Config{Topics: 2, Seed: 1}); err == nil {
+		t.Fatal("out-of-vocab word accepted")
+	}
+}
+
+func TestThetaIsDistribution(t *testing.T) {
+	corpus, _ := synthCorpus(20, 30, 40, 1)
+	m, err := Train(corpus, Config{Topics: 4, Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range corpus.Docs {
+		theta := m.DocTheta(d)
+		var sum float64
+		for _, p := range theta {
+			if p < 0 {
+				t.Fatalf("doc %d has negative prob %v", d, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d theta sums to %v", d, sum)
+		}
+	}
+}
+
+func TestRecoversSeparatedTopics(t *testing.T) {
+	corpus, labels := synthCorpus(40, 50, 60, 42)
+	m, err := Train(corpus, Config{Topics: 2, Iterations: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-label documents must be closer to each other (cosine of theta)
+	// than different-label documents on average.
+	cos := func(a, b []float64) float64 {
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		return dot / math.Sqrt(na*nb)
+	}
+	var same, diff float64
+	var nSame, nDiff int
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			c := cos(m.DocTheta(i), m.DocTheta(j))
+			if labels[i] == labels[j] {
+				same += c
+				nSame++
+			} else {
+				diff += c
+				nDiff++
+			}
+		}
+	}
+	same /= float64(nSame)
+	diff /= float64(nDiff)
+	if same <= diff+0.2 {
+		t.Fatalf("LDA failed to separate topics: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestTopicWordProbNormalized(t *testing.T) {
+	corpus, _ := synthCorpus(10, 20, 30, 3)
+	m, err := Train(corpus, Config{Topics: 3, Iterations: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < m.K; k++ {
+		var sum float64
+		for w := 0; w < m.VocabSize; w++ {
+			sum += m.TopicWordProb(k, w)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("topic %d phi sums to %v", k, sum)
+		}
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	corpus, _ := synthCorpus(40, 50, 20, 9)
+	m, err := Train(corpus, Config{Topics: 2, Iterations: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		top := m.TopWords(k, 5)
+		if len(top) != 5 {
+			t.Fatalf("TopWords returned %d", len(top))
+		}
+		// All top words of one recovered topic must come from the same
+		// latent half of the vocabulary.
+		firstHalf := top[0] < 10
+		for _, w := range top {
+			if (w < 10) != firstHalf {
+				t.Fatalf("topic %d mixes vocabulary halves: %v", k, top)
+			}
+		}
+	}
+	if got := m.TopWords(0, 100); len(got) != m.VocabSize {
+		t.Fatalf("TopWords over-request returned %d", len(got))
+	}
+}
+
+func TestInfer(t *testing.T) {
+	corpus, _ := synthCorpus(40, 50, 60, 17)
+	m, err := Train(corpus, Config{Topics: 2, Iterations: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determine which model topic corresponds to vocabulary half A by
+	// checking topic-word mass.
+	var massA0 float64
+	for w := 0; w < 30; w++ {
+		massA0 += m.TopicWordProb(0, w)
+	}
+	topicA := 0
+	if massA0 < 0.5 {
+		topicA = 1
+	}
+	docA := Document{1, 2, 3, 4, 5, 6, 7, 8}
+	theta := m.Infer(docA, 50, 99)
+	var sum float64
+	for _, p := range theta {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("inferred theta sums to %v", sum)
+	}
+	if theta[topicA] < 0.7 {
+		t.Fatalf("half-A document got theta[%d]=%v", topicA, theta[topicA])
+	}
+}
+
+func TestInferEmptyAndUnseen(t *testing.T) {
+	corpus, _ := synthCorpus(10, 20, 30, 5)
+	m, err := Train(corpus, Config{Topics: 3, Iterations: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.Infer(nil, 10, 1)
+	for _, p := range theta {
+		if math.Abs(p-1.0/3.0) > 1e-9 {
+			t.Fatalf("empty doc should be uniform, got %v", theta)
+		}
+	}
+	// Out-of-vocab ids are skipped, not a crash.
+	theta2 := m.Infer(Document{999, -5, 1}, 10, 1)
+	var sum float64
+	for _, p := range theta2 {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("theta with unseen words sums to %v", sum)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	corpus, _ := synthCorpus(10, 20, 30, 7)
+	m1, err := Train(corpus, Config{Topics: 3, Iterations: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(corpus, Config{Topics: 3, Iterations: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range corpus.Docs {
+		a, b := m1.DocTheta(d), m2.DocTheta(d)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("doc %d topic %d: %v != %v", d, k, a[k], b[k])
+			}
+		}
+	}
+}

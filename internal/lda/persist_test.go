@@ -1,0 +1,78 @@
+package lda
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	corpus, _ := synthCorpus(20, 30, 40, 21)
+	m, err := Train(corpus, Config{Topics: 3, Iterations: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != m.K || got.VocabSize != m.VocabSize || got.Alpha != m.Alpha || got.Beta != m.Beta {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	// Topic-word probabilities identical.
+	for k := 0; k < m.K; k++ {
+		for w := 0; w < m.VocabSize; w++ {
+			if got.TopicWordProb(k, w) != m.TopicWordProb(k, w) {
+				t.Fatalf("phi[%d][%d] differs", k, w)
+			}
+		}
+	}
+	// Training thetas survive.
+	for d := range corpus.Docs {
+		a, b := m.DocTheta(d), got.DocTheta(d)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("doc %d theta differs", d)
+			}
+		}
+	}
+	// Inference with the same seed is identical.
+	doc := Document{1, 2, 3, 4}
+	x := m.Infer(doc, 20, 5)
+	y := got.Infer(doc, 20, 5)
+	for k := range x {
+		if x[k] != y[k] {
+			t.Fatal("inference differs after round trip")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Wrong magic.
+	var buf bytes.Buffer
+	corpus, _ := synthCorpus(5, 10, 20, 1)
+	m, err := Train(corpus, Config{Topics: 2, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the magic string bytes (gob encodes the string contents
+	// near the start).
+	idx := bytes.Index(raw, []byte("tagdm-lda-v1"))
+	if idx < 0 {
+		t.Fatal("magic not found in encoding")
+	}
+	raw[idx] = 'X'
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}

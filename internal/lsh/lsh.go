@@ -1,0 +1,159 @@
+// Package lsh implements the random-hyperplane (sign random projection)
+// locality sensitive hashing scheme of Charikar (STOC 2002) used by the
+// paper's SM-LSH family of algorithms (Section 4). Each of d' hash
+// functions is the sign of a dot product with a random Gaussian vector;
+// the collision probability of two vectors is 1 - theta/pi (Theorem 2).
+//
+// Unlike classical LSH usage (nearest-neighbor lookups for a query point),
+// the TagDM algorithms enumerate the buckets themselves and rank them by a
+// scoring function, so the index exposes its buckets directly.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tagdm/internal/vec"
+)
+
+// Index is a set of l hash tables over n input vectors, each table keyed by
+// a d'-bit signature.
+type Index struct {
+	d      int // input dimensionality
+	dprime int // hyperplanes per table (signature bits)
+	tables []table
+	n      int
+}
+
+type table struct {
+	planes [][]float64      // dprime rows of d Gaussian coordinates
+	bucket map[uint64][]int // signature -> vector ids
+}
+
+// Params configures index construction.
+type Params struct {
+	// DPrime is the number of hyperplanes (signature bits) per table.
+	// Must be in [1, 64]; the paper starts at 10.
+	DPrime int
+	// L is the number of independent hash tables (the paper uses 1).
+	L int
+	// Seed drives hyperplane generation.
+	Seed int64
+}
+
+// Build hashes all vectors into l tables of d'-bit signatures.
+// All vectors must share the same dimensionality.
+func Build(vectors [][]float64, p Params) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("lsh: no vectors")
+	}
+	if p.DPrime < 1 || p.DPrime > 64 {
+		return nil, fmt.Errorf("lsh: DPrime %d out of [1, 64]", p.DPrime)
+	}
+	if p.L < 1 {
+		return nil, fmt.Errorf("lsh: L must be >= 1, got %d", p.L)
+	}
+	d := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != d {
+			return nil, fmt.Errorf("lsh: vector %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	idx := &Index{d: d, dprime: p.DPrime, n: len(vectors)}
+	idx.tables = make([]table, p.L)
+	for t := range idx.tables {
+		planes := make([][]float64, p.DPrime)
+		for h := range planes {
+			row := make([]float64, d)
+			for c := range row {
+				row[c] = rng.NormFloat64()
+			}
+			planes[h] = row
+		}
+		tb := table{planes: planes, bucket: make(map[uint64][]int)}
+		for id, v := range vectors {
+			sig := signatureOf(planes, v)
+			tb.bucket[sig] = append(tb.bucket[sig], id)
+		}
+		idx.tables[t] = tb
+	}
+	return idx, nil
+}
+
+// signatureOf computes the d'-bit signature of v under the given planes:
+// bit h is 1 iff planes[h] . v >= 0.
+func signatureOf(planes [][]float64, v []float64) uint64 {
+	var sig uint64
+	for h, plane := range planes {
+		if vec.Dot(plane, v) >= 0 {
+			sig |= 1 << uint(h)
+		}
+	}
+	return sig
+}
+
+// Signature returns v's signature in table t (exported for tests and for
+// Query).
+func (x *Index) Signature(t int, v []float64) uint64 {
+	return signatureOf(x.tables[t].planes, v)
+}
+
+// Bucket is one hash bucket: the ids of the vectors sharing a signature in
+// one table.
+type Bucket struct {
+	Table     int
+	Signature uint64
+	IDs       []int
+}
+
+// Buckets returns every non-empty bucket of every table. Order is
+// deterministic given deterministic map iteration is not guaranteed, so
+// buckets are keyed by (table, signature) and callers needing determinism
+// should sort; Rank below does.
+func (x *Index) Buckets() []Bucket {
+	var out []Bucket
+	for t := range x.tables {
+		for sig, ids := range x.tables[t].bucket {
+			out = append(out, Bucket{Table: t, Signature: sig, IDs: ids})
+		}
+	}
+	return out
+}
+
+// NumBuckets returns the total bucket count across tables.
+func (x *Index) NumBuckets() int {
+	n := 0
+	for t := range x.tables {
+		n += len(x.tables[t].bucket)
+	}
+	return n
+}
+
+// Query returns the ids co-hashed with v in any table (the classical
+// approximate nearest neighbor candidate set), excluding duplicates.
+func (x *Index) Query(v []float64) []int {
+	if len(v) != x.d {
+		return nil
+	}
+	seen := make(map[int]struct{})
+	var out []int
+	for t := range x.tables {
+		sig := signatureOf(x.tables[t].planes, v)
+		for _, id := range x.tables[t].bucket[sig] {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// CollisionProbability returns the theoretical single-hyperplane collision
+// probability of two vectors, 1 - theta/pi (Theorem 2), exposed for tests
+// and diagnostics.
+func CollisionProbability(a, b []float64) float64 {
+	return 1 - vec.Angle(a, b)/math.Pi
+}

@@ -1,0 +1,229 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusterVectors makes two tight clusters of unit vectors around opposite
+// directions plus the cluster assignment of each vector.
+func clusterVectors(n, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centerA := make([]float64, d)
+	centerB := make([]float64, d)
+	for i := 0; i < d; i++ {
+		centerA[i] = rng.NormFloat64()
+		centerB[i] = -centerA[i]
+	}
+	vectors := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range vectors {
+		c := centerA
+		labels[i] = 0
+		if i%2 == 1 {
+			c = centerB
+			labels[i] = 1
+		}
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = c[j] + 0.05*rng.NormFloat64()
+		}
+		vectors[i] = v
+	}
+	return vectors, labels
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Params{DPrime: 8, L: 1}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	v := [][]float64{{1, 2}}
+	if _, err := Build(v, Params{DPrime: 0, L: 1}); err == nil {
+		t.Fatal("DPrime 0 accepted")
+	}
+	if _, err := Build(v, Params{DPrime: 65, L: 1}); err == nil {
+		t.Fatal("DPrime 65 accepted")
+	}
+	if _, err := Build(v, Params{DPrime: 8, L: 0}); err == nil {
+		t.Fatal("L 0 accepted")
+	}
+	if _, err := Build([][]float64{{1, 2}, {1}}, Params{DPrime: 8, L: 1}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestBucketsPartitionInput(t *testing.T) {
+	vectors, _ := clusterVectors(100, 10, 3)
+	idx, err := Build(vectors, Params{DPrime: 6, L: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for _, b := range idx.Buckets() {
+		for _, id := range b.IDs {
+			seen[id]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("buckets cover %d of 100 vectors", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("vector %d appears in %d buckets of one table", id, n)
+		}
+	}
+	if idx.NumBuckets() != len(idx.Buckets()) {
+		t.Fatal("NumBuckets inconsistent")
+	}
+}
+
+func TestMultipleTablesMultiplyBuckets(t *testing.T) {
+	vectors, _ := clusterVectors(60, 8, 5)
+	idx, err := Build(vectors, Params{DPrime: 4, L: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each table partitions all inputs, so total membership = 3 * 60.
+	total := 0
+	for _, b := range idx.Buckets() {
+		if b.Table < 0 || b.Table > 2 {
+			t.Fatalf("bad table %d", b.Table)
+		}
+		total += len(b.IDs)
+	}
+	if total != 180 {
+		t.Fatalf("total membership = %d, want 180", total)
+	}
+}
+
+func TestSimilarVectorsCollide(t *testing.T) {
+	vectors, labels := clusterVectors(200, 12, 7)
+	idx, err := Build(vectors, Params{DPrime: 8, L: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two antipodal tight clusters and 8 hyperplanes, same-cluster
+	// vectors should overwhelmingly share a bucket and cross-cluster
+	// vectors should not.
+	sameOK, crossBad := 0, 0
+	samePairs, crossPairs := 0, 0
+	for _, b := range idx.Buckets() {
+		for i := 0; i < len(b.IDs); i++ {
+			for j := i + 1; j < len(b.IDs); j++ {
+				if labels[b.IDs[i]] == labels[b.IDs[j]] {
+					sameOK++
+				} else {
+					crossBad++
+				}
+			}
+		}
+	}
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			if labels[i] == labels[j] {
+				samePairs++
+			} else {
+				crossPairs++
+			}
+		}
+	}
+	if crossBad > 0 {
+		t.Fatalf("%d cross-cluster pairs share a bucket", crossBad)
+	}
+	if float64(sameOK) < 0.5*float64(samePairs) {
+		t.Fatalf("only %d/%d same-cluster pairs collided", sameOK, samePairs)
+	}
+}
+
+func TestQuery(t *testing.T) {
+	vectors, labels := clusterVectors(100, 10, 11)
+	idx, err := Build(vectors, Params{DPrime: 6, L: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query with a fresh vector near cluster 0.
+	q := make([]float64, 10)
+	copy(q, vectors[0])
+	got := idx.Query(q)
+	if len(got) == 0 {
+		t.Fatal("query returned nothing")
+	}
+	for _, id := range got {
+		if labels[id] != labels[0] {
+			t.Fatalf("query returned cross-cluster vector %d", id)
+		}
+	}
+	if idx.Query([]float64{1}) != nil {
+		t.Fatal("dimension mismatch should return nil")
+	}
+}
+
+func TestCollisionProbabilityTheorem(t *testing.T) {
+	// Empirically estimate P[h(a)=h(b)] over many random hyperplanes and
+	// compare with 1 - theta/pi (Theorem 2 of the paper).
+	a := []float64{1, 0, 0}
+	b := []float64{1, 1, 0} // 45 degrees
+	want := CollisionProbability(a, b)
+	if math.Abs(want-(1-0.25)) > 1e-9 {
+		t.Fatalf("analytic collision prob = %v, want 0.75", want)
+	}
+	rng := rand.New(rand.NewSource(13))
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		plane := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		sa := dot(plane, a) >= 0
+		sb := dot(plane, b) >= 0
+		if sa == sb {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical collision prob %v, analytic %v", got, want)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	vectors, _ := clusterVectors(50, 6, 19)
+	a, err := Build(vectors, Params{DPrime: 5, L: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(vectors, Params{DPrime: 5, L: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vectors {
+		for tbl := 0; tbl < 2; tbl++ {
+			if a.Signature(tbl, v) != b.Signature(tbl, v) {
+				t.Fatalf("vector %d table %d: signatures differ across builds", i, tbl)
+			}
+		}
+	}
+}
+
+func TestLowerDPrimeCoarsensPartition(t *testing.T) {
+	vectors, _ := clusterVectors(200, 10, 23)
+	fine, err := Build(vectors, Params{DPrime: 12, L: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Build(vectors, Params{DPrime: 2, L: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumBuckets() > fine.NumBuckets() {
+		t.Fatalf("coarse index has more buckets (%d) than fine (%d)",
+			coarse.NumBuckets(), fine.NumBuckets())
+	}
+}

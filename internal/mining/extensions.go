@@ -1,0 +1,146 @@
+package mining
+
+import (
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/store"
+)
+
+// This file implements the richer comparison functions Section 2.1.1
+// sketches beyond the basic structural and Jaccard measures:
+//
+//   - a rating-aware set distance, where an item counts as common to two
+//     groups only if its average ratings in both are close;
+//   - a domain-aware structural similarity, where attribute values are
+//     compared by a caller-provided value similarity (e.g. edit distance,
+//     or a geography table that puts "new york city" nearer to "boston"
+//     than to "dallas") instead of strict equality.
+
+// RatingAwareJaccardItems returns the paper's refined set-distance pair
+// similarity: |common| / |union| where an item is common to g1 and g2 only
+// if both groups tagged it AND their average ratings for it differ by at
+// most tolerance. Items without ratings (rating 0) on either side are
+// compared by membership alone.
+func RatingAwareJaccardItems(s *store.Store, gs []*groups.Group, tolerance float64) PairFunc {
+	// Precompute per group: item -> (sum, count) of ratings.
+	type acc struct {
+		sum float64
+		n   int
+	}
+	perGroup := make([]map[int32]acc, len(gs))
+	for i, g := range gs {
+		m := make(map[int32]acc)
+		for _, t := range g.Members {
+			item := s.TupleItem(t)
+			a := m[item]
+			if r := s.TupleRating(t); r > 0 {
+				a.sum += r
+				a.n++
+			}
+			m[item] = a
+		}
+		perGroup[i] = m
+	}
+	avg := func(a acc) (float64, bool) {
+		if a.n == 0 {
+			return 0, false
+		}
+		return a.sum / float64(a.n), true
+	}
+	return func(g1, g2 *groups.Group) float64 {
+		m1, m2 := perGroup[g1.ID], perGroup[g2.ID]
+		if len(m1) == 0 && len(m2) == 0 {
+			return 0
+		}
+		common := 0
+		for item, a1 := range m1 {
+			a2, ok := m2[item]
+			if !ok {
+				continue
+			}
+			r1, ok1 := avg(a1)
+			r2, ok2 := avg(a2)
+			if ok1 && ok2 {
+				d := r1 - r2
+				if d < 0 {
+					d = -d
+				}
+				if d > tolerance {
+					continue // tagged by both but rated too differently
+				}
+			}
+			common++
+		}
+		// Items excluded for rating disagreement still belong to the
+		// union (they were tagged by both groups), so the union is the
+		// plain set union of the two item sets.
+		seen := make(map[int32]struct{}, len(m1)+len(m2))
+		for item := range m1 {
+			seen[item] = struct{}{}
+		}
+		for item := range m2 {
+			seen[item] = struct{}{}
+		}
+		if len(seen) == 0 {
+			return 0
+		}
+		return float64(common) / float64(len(seen))
+	}
+}
+
+// ValueSimilarity scores two attribute value strings in [0, 1].
+type ValueSimilarity func(a, b string) float64
+
+// DomainAwareStructural returns a structural pair similarity on the given
+// side that compares constrained attribute values with valueSim instead of
+// strict equality, normalized by the schema width. Unconstrained
+// attributes contribute 0, exactly as in the strict version.
+func DomainAwareStructural(s *store.Store, side store.Side, valueSim ValueSimilarity) PairFunc {
+	schema := s.UserSchema
+	if side == store.SideItem {
+		schema = s.ItemSchema
+	}
+	n := schema.Len()
+	return func(g1, g2 *groups.Group) float64 {
+		if n == 0 {
+			return 0
+		}
+		var total float64
+		for i := 0; i < n; i++ {
+			var v1, v2 model.ValueCode
+			if side == store.SideUser {
+				v1, v2 = g1.UserValue(i), g2.UserValue(i)
+			} else {
+				v1, v2 = g1.ItemValue(i), g2.ItemValue(i)
+			}
+			if v1 == model.Unknown || v2 == model.Unknown {
+				continue
+			}
+			total += valueSim(schema.Attr(i).Value(v1), schema.Attr(i).Value(v2))
+		}
+		return total / float64(n)
+	}
+}
+
+// TableValueSimilarity builds a ValueSimilarity from an explicit pair
+// table (symmetric; missing pairs fall back to exact-match 1/0). It models
+// the paper's domain-knowledge example where "new york city" is more
+// similar to "boston" than to "dallas".
+func TableValueSimilarity(pairs map[[2]string]float64) ValueSimilarity {
+	return func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		if v, ok := pairs[[2]string{a, b}]; ok {
+			return v
+		}
+		if v, ok := pairs[[2]string{b, a}]; ok {
+			return v
+		}
+		return 0
+	}
+}
+
+// EditDistanceValueSimilarity adapts StringSimilarity as a
+// ValueSimilarity, per the paper's edit-distance suggestion.
+func EditDistanceValueSimilarity(a, b string) float64 { return StringSimilarity(a, b) }

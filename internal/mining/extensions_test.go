@@ -1,0 +1,134 @@
+package mining
+
+import (
+	"testing"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/store"
+)
+
+// ratingWorld builds two groups tagging overlapping items with ratings:
+// group A (male) and group B (female) both tag items 0 and 1; they agree
+// on 0 (ratings 4 vs 4.2) and disagree on 1 (1 vs 5). Item 2 is A-only.
+func ratingWorld(t *testing.T) (*store.Store, []*groups.Group) {
+	t.Helper()
+	d := model.NewDataset(model.NewSchema("gender"), model.NewSchema("genre"))
+	m, err := d.AddUser(map[string]string{"gender": "male"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.AddUser(map[string]string{"gender": "female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []int32
+	for i := 0; i < 3; i++ {
+		id, err := d.AddItem(map[string]string{"genre": "action"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, id)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddAction(m, items[0], 4.0, "x"))
+	must(d.AddAction(m, items[1], 1.0, "x"))
+	must(d.AddAction(m, items[2], 3.0, "x"))
+	must(d.AddAction(f, items[0], 4.2, "y"))
+	must(d.AddAction(f, items[1], 5.0, "y"))
+	s, err := store.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := (&groups.Enumerator{Store: s, MinTuples: 1}).FullyDescribed()
+	if len(gs) != 2 {
+		t.Fatalf("got %d groups", len(gs))
+	}
+	return s, gs
+}
+
+func TestRatingAwareJaccard(t *testing.T) {
+	s, gs := ratingWorld(t)
+	// Plain Jaccard: common {0, 1}, union {0, 1, 2} -> 2/3.
+	plain := JaccardItems(s, gs)
+	if got := plain(gs[0], gs[1]); got < 0.66 || got > 0.67 {
+		t.Fatalf("plain jaccard = %v", got)
+	}
+	// Rating-aware with tolerance 0.5: item 1 disagrees (|1-5| > 0.5),
+	// so common {0}, union {0, 1, 2} -> 1/3.
+	aware := RatingAwareJaccardItems(s, gs, 0.5)
+	if got := aware(gs[0], gs[1]); got < 0.33 || got > 0.34 {
+		t.Fatalf("rating-aware jaccard = %v", got)
+	}
+	// Generous tolerance recovers the plain value.
+	loose := RatingAwareJaccardItems(s, gs, 10)
+	if got := loose(gs[0], gs[1]); got < 0.66 || got > 0.67 {
+		t.Fatalf("loose jaccard = %v", got)
+	}
+	// Symmetry.
+	if aware(gs[0], gs[1]) != aware(gs[1], gs[0]) {
+		t.Fatal("not symmetric")
+	}
+	// Self-similarity is 1 (all items common with equal averages).
+	if got := aware(gs[0], gs[0]); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+}
+
+func TestDomainAwareStructural(t *testing.T) {
+	s, gs := world(t)
+	a := findByDesc(t, s, gs, "director=cameron")
+	b := findByDesc(t, s, gs, "director=spielberg")
+	// Strict equality: same genre, different director -> 0.5.
+	strict := StructuralItem(s)
+	if got := strict(a, b); got != 0.5 {
+		t.Fatalf("strict = %v", got)
+	}
+	// A domain table that declares the two directors 80% similar lifts
+	// the structural score to (1 + 0.8)/2.
+	table := TableValueSimilarity(map[[2]string]float64{
+		{"cameron", "spielberg"}: 0.8,
+	})
+	aware := DomainAwareStructural(s, store.SideItem, table)
+	if got := aware(a, b); got != 0.9 {
+		t.Fatalf("domain-aware = %v", got)
+	}
+	// Edit-distance value similarity gives a nonzero cross-value score
+	// without any table.
+	ed := DomainAwareStructural(s, store.SideItem, EditDistanceValueSimilarity)
+	got := ed(a, b)
+	if got <= 0.5 || got >= 1 {
+		t.Fatalf("edit-distance structural = %v", got)
+	}
+}
+
+func TestDomainAwareStructuralUsers(t *testing.T) {
+	s, gs := world(t)
+	a := findByDesc(t, s, gs, "director=cameron") // male, teen
+	c := findByDesc(t, s, gs, "gender=female")    // female, teen
+	aware := DomainAwareStructural(s, store.SideUser, TableValueSimilarity(nil))
+	// Without a table this matches strict structural similarity.
+	strict := StructuralUser(s)
+	if aware(a, c) != strict(a, c) {
+		t.Fatalf("table-less domain-aware (%v) != strict (%v)", aware(a, c), strict(a, c))
+	}
+}
+
+func TestTableValueSimilarity(t *testing.T) {
+	sim := TableValueSimilarity(map[[2]string]float64{
+		{"nyc", "boston"}: 0.7,
+	})
+	if sim("nyc", "nyc") != 1 {
+		t.Fatal("identity")
+	}
+	if sim("nyc", "boston") != 0.7 || sim("boston", "nyc") != 0.7 {
+		t.Fatal("table lookup (both orders)")
+	}
+	if sim("nyc", "dallas") != 0 {
+		t.Fatal("missing pair should be 0")
+	}
+}

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TagID identifies a tag in a Vocabulary.
+type TagID int32
+
+// Vocabulary is the tag dictionary T. Tags are free-form strings with a
+// long-tail distribution; the vocabulary maps them to dense ids.
+type Vocabulary struct {
+	tags  []string
+	index map[string]TagID
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]TagID)}
+}
+
+// ID returns the id for tag, interning it if new.
+func (v *Vocabulary) ID(tag string) TagID {
+	if id, ok := v.index[tag]; ok {
+		return id
+	}
+	id := TagID(len(v.tags))
+	v.tags = append(v.tags, tag)
+	v.index[tag] = id
+	return id
+}
+
+// Lookup returns the id of tag without interning.
+func (v *Vocabulary) Lookup(tag string) (TagID, bool) {
+	id, ok := v.index[tag]
+	return id, ok
+}
+
+// Tag returns the string form of id; out-of-range ids render as "?".
+func (v *Vocabulary) Tag(id TagID) string {
+	if id < 0 || int(id) >= len(v.tags) {
+		return "?"
+	}
+	return v.tags[id]
+}
+
+// Size is the number of distinct tags.
+func (v *Vocabulary) Size() int { return len(v.tags) }
+
+// User is a row of the user relation: an id plus one code per user-schema
+// attribute.
+type User struct {
+	ID    int32
+	Attrs []ValueCode
+}
+
+// Item is a row of the item relation.
+type Item struct {
+	ID    int32
+	Attrs []ValueCode
+}
+
+// TaggingAction is one triple <u, i, T> plus an optional numeric rating
+// (MovieLens-style datasets carry both; Rating is NaN-free, 0 means "none").
+type TaggingAction struct {
+	User   int32
+	Item   int32
+	Tags   []TagID
+	Rating float64
+}
+
+// Dataset bundles the triple <U, I, T> and the set of tagging actions G.
+type Dataset struct {
+	UserSchema *Schema
+	ItemSchema *Schema
+	Vocab      *Vocabulary
+	Users      []User
+	Items      []Item
+	Actions    []TaggingAction
+}
+
+// NewDataset allocates an empty dataset over the two schemas.
+func NewDataset(userSchema, itemSchema *Schema) *Dataset {
+	return &Dataset{
+		UserSchema: userSchema,
+		ItemSchema: itemSchema,
+		Vocab:      NewVocabulary(),
+	}
+}
+
+// AddUser appends a user built from a name->value attribute map and returns
+// its id.
+func (d *Dataset) AddUser(attrs map[string]string) (int32, error) {
+	tuple, err := d.UserSchema.Encode(attrs)
+	if err != nil {
+		return 0, err
+	}
+	id := int32(len(d.Users))
+	d.Users = append(d.Users, User{ID: id, Attrs: tuple})
+	return id, nil
+}
+
+// AddItem appends an item built from a name->value attribute map and returns
+// its id.
+func (d *Dataset) AddItem(attrs map[string]string) (int32, error) {
+	tuple, err := d.ItemSchema.Encode(attrs)
+	if err != nil {
+		return 0, err
+	}
+	id := int32(len(d.Items))
+	d.Items = append(d.Items, Item{ID: id, Attrs: tuple})
+	return id, nil
+}
+
+// AddAction appends a tagging action whose tags are interned into the
+// dataset vocabulary.
+func (d *Dataset) AddAction(user, item int32, rating float64, tags ...string) error {
+	if user < 0 || int(user) >= len(d.Users) {
+		return fmt.Errorf("model: action references unknown user %d", user)
+	}
+	if item < 0 || int(item) >= len(d.Items) {
+		return fmt.Errorf("model: action references unknown item %d", item)
+	}
+	ids := make([]TagID, len(tags))
+	for i, t := range tags {
+		ids[i] = d.Vocab.ID(t)
+	}
+	d.Actions = append(d.Actions, TaggingAction{User: user, Item: item, Tags: ids, Rating: rating})
+	return nil
+}
+
+// AddActionIDs appends a tagging action with pre-interned tag ids. The caller
+// must have obtained the ids from this dataset's vocabulary.
+func (d *Dataset) AddActionIDs(user, item int32, rating float64, tags []TagID) error {
+	if user < 0 || int(user) >= len(d.Users) {
+		return fmt.Errorf("model: action references unknown user %d", user)
+	}
+	if item < 0 || int(item) >= len(d.Items) {
+		return fmt.Errorf("model: action references unknown item %d", item)
+	}
+	for _, t := range tags {
+		if t < 0 || int(t) >= d.Vocab.Size() {
+			return fmt.Errorf("model: action references unknown tag %d", t)
+		}
+	}
+	d.Actions = append(d.Actions, TaggingAction{User: user, Item: item, Tags: tags, Rating: rating})
+	return nil
+}
+
+// Validate checks referential integrity of every action and tuple width of
+// every user and item.
+func (d *Dataset) Validate() error {
+	if d.UserSchema == nil || d.ItemSchema == nil || d.Vocab == nil {
+		return errors.New("model: dataset missing schema or vocabulary")
+	}
+	for i, u := range d.Users {
+		if len(u.Attrs) != d.UserSchema.Len() {
+			return fmt.Errorf("model: user %d has %d attrs, schema has %d", i, len(u.Attrs), d.UserSchema.Len())
+		}
+	}
+	for i, it := range d.Items {
+		if len(it.Attrs) != d.ItemSchema.Len() {
+			return fmt.Errorf("model: item %d has %d attrs, schema has %d", i, len(it.Attrs), d.ItemSchema.Len())
+		}
+	}
+	for i, a := range d.Actions {
+		if a.User < 0 || int(a.User) >= len(d.Users) {
+			return fmt.Errorf("model: action %d references unknown user %d", i, a.User)
+		}
+		if a.Item < 0 || int(a.Item) >= len(d.Items) {
+			return fmt.Errorf("model: action %d references unknown item %d", i, a.Item)
+		}
+		for _, t := range a.Tags {
+			if t < 0 || int(t) >= d.Vocab.Size() {
+				return fmt.Errorf("model: action %d references unknown tag %d", i, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a dataset for logs and README tables.
+type Stats struct {
+	Users        int
+	Items        int
+	Actions      int
+	VocabSize    int
+	TagOccur     int     // total tag occurrences across actions
+	AvgTags      float64 // average tags per action
+	DistinctUsed int     // distinct tags actually used
+}
+
+// Stats computes summary statistics in one pass.
+func (d *Dataset) Stats() Stats {
+	s := Stats{
+		Users:     len(d.Users),
+		Items:     len(d.Items),
+		Actions:   len(d.Actions),
+		VocabSize: d.Vocab.Size(),
+	}
+	used := make(map[TagID]struct{})
+	for _, a := range d.Actions {
+		s.TagOccur += len(a.Tags)
+		for _, t := range a.Tags {
+			used[t] = struct{}{}
+		}
+	}
+	s.DistinctUsed = len(used)
+	if s.Actions > 0 {
+		s.AvgTags = float64(s.TagOccur) / float64(s.Actions)
+	}
+	return s
+}
+
+// TagFrequencies counts occurrences of every tag across all actions,
+// returned in descending count order. It is the input to frequency-based
+// tag clouds (paper Figures 1-2).
+func (d *Dataset) TagFrequencies() []TagCount {
+	counts := make(map[TagID]int)
+	for _, a := range d.Actions {
+		for _, t := range a.Tags {
+			counts[t]++
+		}
+	}
+	out := make([]TagCount, 0, len(counts))
+	for id, n := range counts {
+		out = append(out, TagCount{Tag: d.Vocab.Tag(id), ID: id, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// TagCount pairs a tag with an occurrence count.
+type TagCount struct {
+	Tag   string
+	ID    TagID
+	Count int
+}

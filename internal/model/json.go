@@ -1,0 +1,190 @@
+package model
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is a small header object followed by one JSON object
+// per line for users, items and actions. Attribute values are written as
+// strings so files are self-describing and diffable; dictionaries are
+// rebuilt on load.
+
+type jsonHeader struct {
+	Format    string   `json:"format"`
+	UserAttrs []string `json:"user_attrs"`
+	ItemAttrs []string `json:"item_attrs"`
+	Users     int      `json:"users"`
+	Items     int      `json:"items"`
+	Actions   int      `json:"actions"`
+	// Dictionaries pin code assignment across round trips: value code i+1
+	// of attribute a is UserDicts[a][i] (resp. ItemDicts), and tag id i is
+	// TagDict[i]. Older files without them re-intern in encounter order.
+	UserDicts [][]string `json:"user_dicts,omitempty"`
+	ItemDicts [][]string `json:"item_dicts,omitempty"`
+	TagDict   []string   `json:"tag_dict,omitempty"`
+}
+
+type jsonEntity struct {
+	Kind   string   `json:"k"` // "u", "i", or "a"
+	Attrs  []string `json:"attrs,omitempty"`
+	User   int32    `json:"u,omitempty"`
+	Item   int32    `json:"i,omitempty"`
+	Tags   []string `json:"tags,omitempty"`
+	Rating float64  `json:"r,omitempty"`
+}
+
+const formatName = "tagdm-dataset-v1"
+
+// WriteJSON streams the dataset to w in the line-oriented JSON format.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	hdr := jsonHeader{
+		Format:    formatName,
+		UserAttrs: d.UserSchema.Names(),
+		ItemAttrs: d.ItemSchema.Names(),
+		Users:     len(d.Users),
+		Items:     len(d.Items),
+		Actions:   len(d.Actions),
+		UserDicts: schemaDicts(d.UserSchema),
+		ItemDicts: schemaDicts(d.ItemSchema),
+		TagDict:   vocabDict(d.Vocab),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, u := range d.Users {
+		e := jsonEntity{Kind: "u", Attrs: decodeTuple(d.UserSchema, u.Attrs)}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	for _, it := range d.Items {
+		e := jsonEntity{Kind: "i", Attrs: decodeTuple(d.ItemSchema, it.Attrs)}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	for _, a := range d.Actions {
+		tags := make([]string, len(a.Tags))
+		for i, t := range a.Tags {
+			tags[i] = d.Vocab.Tag(t)
+		}
+		e := jsonEntity{Kind: "a", User: a.User, Item: a.Item, Tags: tags, Rating: a.Rating}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func schemaDicts(s *Schema) [][]string {
+	out := make([][]string, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		out[i] = s.Attr(i).Values()
+	}
+	return out
+}
+
+func vocabDict(v *Vocabulary) []string {
+	out := make([]string, v.Size())
+	for i := range out {
+		out[i] = v.Tag(TagID(i))
+	}
+	return out
+}
+
+func decodeTuple(s *Schema, tuple []ValueCode) []string {
+	out := make([]string, len(tuple))
+	for i, c := range tuple {
+		if c == Unknown {
+			out[i] = ""
+		} else {
+			out[i] = s.Attr(i).Value(c)
+		}
+	}
+	return out
+}
+
+// ReadJSON loads a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	var hdr jsonHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("model: reading header: %w", err)
+	}
+	if hdr.Format != formatName {
+		return nil, fmt.Errorf("model: unexpected format %q", hdr.Format)
+	}
+	d := NewDataset(NewSchema(hdr.UserAttrs...), NewSchema(hdr.ItemAttrs...))
+	// Pre-intern dictionaries so codes and tag ids match the writer's.
+	for i, dict := range hdr.UserDicts {
+		if i >= d.UserSchema.Len() {
+			return nil, fmt.Errorf("model: user dictionary count exceeds schema width")
+		}
+		for _, v := range dict {
+			d.UserSchema.Attr(i).Code(v)
+		}
+	}
+	for i, dict := range hdr.ItemDicts {
+		if i >= d.ItemSchema.Len() {
+			return nil, fmt.Errorf("model: item dictionary count exceeds schema width")
+		}
+		for _, v := range dict {
+			d.ItemSchema.Attr(i).Code(v)
+		}
+	}
+	for _, tag := range hdr.TagDict {
+		d.Vocab.ID(tag)
+	}
+	for {
+		var e jsonEntity
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("model: reading entity: %w", err)
+		}
+		switch e.Kind {
+		case "u":
+			tuple, err := encodeTuple(d.UserSchema, e.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			d.Users = append(d.Users, User{ID: int32(len(d.Users)), Attrs: tuple})
+		case "i":
+			tuple, err := encodeTuple(d.ItemSchema, e.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			d.Items = append(d.Items, Item{ID: int32(len(d.Items)), Attrs: tuple})
+		case "a":
+			if err := d.AddAction(e.User, e.Item, e.Rating, e.Tags...); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("model: unknown entity kind %q", e.Kind)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func encodeTuple(s *Schema, attrs []string) ([]ValueCode, error) {
+	if len(attrs) != s.Len() {
+		return nil, fmt.Errorf("model: tuple width %d, schema width %d", len(attrs), s.Len())
+	}
+	tuple := make([]ValueCode, len(attrs))
+	for i, v := range attrs {
+		if v == "" {
+			tuple[i] = Unknown
+		} else {
+			tuple[i] = s.Attr(i).Code(v)
+		}
+	}
+	return tuple, nil
+}

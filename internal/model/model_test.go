@@ -1,0 +1,298 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttributeDictionary(t *testing.T) {
+	a := NewAttribute("gender")
+	m := a.Code("male")
+	f := a.Code("female")
+	if m == f {
+		t.Fatalf("distinct values got same code %d", m)
+	}
+	if got := a.Code("male"); got != m {
+		t.Fatalf("re-encoding male: got %d want %d", got, m)
+	}
+	if a.Value(m) != "male" || a.Value(f) != "female" {
+		t.Fatalf("round trip failed: %q %q", a.Value(m), a.Value(f))
+	}
+	if a.Cardinality() != 2 {
+		t.Fatalf("cardinality = %d, want 2", a.Cardinality())
+	}
+	if _, ok := a.Lookup("other"); ok {
+		t.Fatal("Lookup of absent value reported ok")
+	}
+	if a.Value(Unknown) != "?" || a.Value(99) != "?" {
+		t.Fatal("out-of-range codes should render as ?")
+	}
+}
+
+func TestSchemaEncodeDecode(t *testing.T) {
+	s := NewSchema("gender", "age", "state")
+	tuple, err := s.Encode(map[string]string{"gender": "male", "state": "new york"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuple[1] != Unknown {
+		t.Fatalf("missing attribute should encode Unknown, got %d", tuple[1])
+	}
+	desc := s.Decode(tuple)
+	if desc != "{gender=male, state=new york}" {
+		t.Fatalf("Decode = %q", desc)
+	}
+	if _, err := s.Encode(map[string]string{"zip": "75019"}); err == nil {
+		t.Fatal("encoding unknown attribute should fail")
+	}
+}
+
+func TestSchemaOneHotOffsets(t *testing.T) {
+	s := NewSchema("a", "b")
+	s.AttrByName("a").Code("x")
+	s.AttrByName("a").Code("y")
+	s.AttrByName("b").Code("z")
+	if got := s.TotalCardinality(); got != 3 {
+		t.Fatalf("TotalCardinality = %d, want 3", got)
+	}
+	offs := s.OneHotOffsets()
+	if !reflect.DeepEqual(offs, []int{0, 2}) {
+		t.Fatalf("OneHotOffsets = %v", offs)
+	}
+}
+
+func TestSchemaDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attribute should panic")
+		}
+	}()
+	NewSchema("a", "a")
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("drama")
+	b := v.ID("comedy")
+	if a == b {
+		t.Fatal("distinct tags share id")
+	}
+	if v.ID("drama") != a {
+		t.Fatal("interning not idempotent")
+	}
+	if v.Tag(a) != "drama" {
+		t.Fatalf("Tag(%d) = %q", a, v.Tag(a))
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if v.Tag(-1) != "?" || v.Tag(10) != "?" {
+		t.Fatal("out-of-range ids should render as ?")
+	}
+}
+
+func newTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset(NewSchema("gender", "age"), NewSchema("genre", "director"))
+	for _, u := range []map[string]string{
+		{"gender": "male", "age": "teen"},
+		{"gender": "female", "age": "teen"},
+		{"gender": "male", "age": "young"},
+	} {
+		if _, err := d.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range []map[string]string{
+		{"genre": "action", "director": "cameron"},
+		{"genre": "comedy", "director": "allen"},
+	} {
+		if _, err := d.AddItem(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.AddAction(0, 0, 4.0, "gun", "special effects"))
+	must(d.AddAction(1, 0, 2.0, "violence", "gory"))
+	must(d.AddAction(2, 1, 5.0, "drama", "friendship"))
+	must(d.AddAction(0, 1, 3.5, "drama"))
+	return d
+}
+
+func TestDatasetBuildAndValidate(t *testing.T) {
+	d := newTestDataset(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Users != 3 || st.Items != 2 || st.Actions != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VocabSize != 6 || st.DistinctUsed != 6 {
+		t.Fatalf("vocab stats = %+v", st)
+	}
+	if st.TagOccur != 7 {
+		t.Fatalf("TagOccur = %d, want 7", st.TagOccur)
+	}
+	if st.AvgTags != 7.0/4.0 {
+		t.Fatalf("AvgTags = %v", st.AvgTags)
+	}
+}
+
+func TestDatasetBadReferences(t *testing.T) {
+	d := newTestDataset(t)
+	if err := d.AddAction(99, 0, 0, "x"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if err := d.AddAction(0, 99, 0, "x"); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	if err := d.AddActionIDs(0, 0, 0, []TagID{999}); err == nil {
+		t.Fatal("unknown tag id accepted")
+	}
+	// Corrupt an action directly and confirm Validate catches it.
+	d.Actions[0].User = 42
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate missed dangling user reference")
+	}
+}
+
+func TestTagFrequencies(t *testing.T) {
+	d := newTestDataset(t)
+	freqs := d.TagFrequencies()
+	if len(freqs) != 6 {
+		t.Fatalf("got %d distinct tags", len(freqs))
+	}
+	if freqs[0].Tag != "drama" || freqs[0].Count != 2 {
+		t.Fatalf("top tag = %+v, want drama x2", freqs[0])
+	}
+	// Remaining tags all have count 1 and must be sorted by name.
+	for i := 2; i < len(freqs); i++ {
+		if freqs[i-1].Tag > freqs[i].Tag {
+			t.Fatalf("ties not sorted by name: %q > %q", freqs[i-1].Tag, freqs[i].Tag)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := newTestDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Users) != len(d.Users) || len(got.Items) != len(d.Items) || len(got.Actions) != len(d.Actions) {
+		t.Fatalf("size mismatch after round trip: %+v", got.Stats())
+	}
+	for i := range d.Actions {
+		want := make([]string, len(d.Actions[i].Tags))
+		for j, id := range d.Actions[i].Tags {
+			want[j] = d.Vocab.Tag(id)
+		}
+		have := make([]string, len(got.Actions[i].Tags))
+		for j, id := range got.Actions[i].Tags {
+			have[j] = got.Vocab.Tag(id)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("action %d tags: got %v want %v", i, have, want)
+		}
+		if got.Actions[i].Rating != d.Actions[i].Rating {
+			t.Fatalf("action %d rating: got %v want %v", i, got.Actions[i].Rating, d.Actions[i].Rating)
+		}
+	}
+	// User attribute strings must survive.
+	if got.UserSchema.Decode(got.Users[0].Attrs) != d.UserSchema.Decode(d.Users[0].Attrs) {
+		t.Fatal("user attrs changed across round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString(`{"format":"other"}`)); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+// Property: interning any sequence of strings through an attribute
+// dictionary round-trips every value exactly.
+func TestQuickAttributeRoundTrip(t *testing.T) {
+	f := func(values []string) bool {
+		a := NewAttribute("x")
+		codes := make([]ValueCode, len(values))
+		for i, v := range values {
+			codes[i] = a.Code(v)
+		}
+		for i, v := range values {
+			if a.Value(codes[i]) != v {
+				return false
+			}
+			if c, ok := a.Lookup(v); !ok || c != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal strings get equal codes, distinct strings distinct codes.
+func TestQuickAttributeInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		attr := NewAttribute("x")
+		ca := attr.Code(a)
+		cb := attr.Code(b)
+		return (a == b) == (ca == cb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONDictionaryStability(t *testing.T) {
+	// Codes and tag ids must be identical after a round trip, so vector
+	// encodings built before a save remain valid after a load.
+	d := newTestDataset(t)
+	// Intern an extra value out of tuple order to make the test sharper.
+	d.UserSchema.AttrByName("gender").Code("nonbinary")
+	d.Vocab.ID("never-used-tag")
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.UserSchema.Len(); i++ {
+		a, b := d.UserSchema.Attr(i), got.UserSchema.Attr(i)
+		if a.Cardinality() != b.Cardinality() {
+			t.Fatalf("attr %d cardinality %d vs %d", i, a.Cardinality(), b.Cardinality())
+		}
+		for c := ValueCode(1); int(c) <= a.Cardinality(); c++ {
+			if a.Value(c) != b.Value(c) {
+				t.Fatalf("attr %d code %d: %q vs %q", i, c, a.Value(c), b.Value(c))
+			}
+		}
+	}
+	if d.Vocab.Size() != got.Vocab.Size() {
+		t.Fatalf("vocab size %d vs %d", d.Vocab.Size(), got.Vocab.Size())
+	}
+	for id := TagID(0); int(id) < d.Vocab.Size(); id++ {
+		if d.Vocab.Tag(id) != got.Vocab.Tag(id) {
+			t.Fatalf("tag id %d: %q vs %q", id, d.Vocab.Tag(id), got.Vocab.Tag(id))
+		}
+	}
+}

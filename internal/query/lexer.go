@@ -1,0 +1,120 @@
+// Package query implements a small declarative language for TagDM
+// analyses, so the mining scenarios of the paper read like queries:
+//
+//	ANALYZE PROBLEM 3 WHERE genre=drama WITH k=3, support=1%, q=0.5, r=0.5
+//
+//	ANALYZE MAXIMIZE diversity(tags)
+//	SUBJECT TO similarity(users) >= 0.5, similarity(items) >= 0.5
+//	WHERE gender=male AND state=CA
+//	WITH k=3, support=350
+//
+// Parsing produces a Request: a core.ProblemSpec plus the scoping filter
+// (the WHERE conjunction) and the parameters. Execution is the caller's
+// job — the facade builds the scoped pipeline and runs the spec.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPercent // a number immediately followed by '%'
+	tokComma
+	tokLParen
+	tokRParen
+	tokEq
+	tokGE
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers may contain letters,
+// digits, '_', '-' and '.', so attribute values like "new-york" or
+// "director-042" need no quoting; values with spaces use single quotes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokGE, ">=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: position %d: expected >=", i)
+			}
+		case c == '\'':
+			j := strings.IndexByte(input[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("query: position %d: unterminated quote", i)
+			}
+			toks = append(toks, token{tokIdent, input[i+1 : i+1+j], i})
+			i += j + 2
+		case unicode.IsDigit(c):
+			j := i
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			if j < n && input[j] == '%' {
+				toks = append(toks, token{tokPercent, input[i:j], i})
+				j++
+			} else {
+				toks = append(toks, token{tokNumber, input[i:j], i})
+			}
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && isIdentRune(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.'
+}

@@ -1,0 +1,315 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tagdm/internal/core"
+	"tagdm/internal/mining"
+)
+
+// Request is a parsed analysis query. Support may be given as an absolute
+// tuple count or as a percentage of the scoped corpus, hence the pair of
+// fields; Resolve turns it into a concrete spec for a corpus size.
+type Request struct {
+	// ProblemID is 1..6 when the query names a canned instance, 0 for a
+	// custom MAXIMIZE clause.
+	ProblemID int
+	// Objectives and Constraints are set for custom queries.
+	Objectives  []core.Objective
+	Constraints []core.Constraint
+	// Where is the scoping filter (attribute -> value), possibly empty.
+	Where map[string]string
+	// K is the group budget (default 3).
+	K int
+	// SupportAbs is an absolute support floor; SupportPct a percentage of
+	// the scoped tuple count. At most one is non-zero.
+	SupportAbs int
+	SupportPct float64
+	// Q and R are the user/item thresholds for canned problems
+	// (default 0.5 each).
+	Q, R float64
+}
+
+// Resolve produces the concrete ProblemSpec for a corpus of nTuples
+// tagging actions (after the WHERE scoping).
+func (r *Request) Resolve(nTuples int) (core.ProblemSpec, error) {
+	support := r.SupportAbs
+	if r.SupportPct > 0 {
+		support = int(r.SupportPct / 100 * float64(nTuples))
+	}
+	if r.ProblemID != 0 {
+		return core.PaperProblem(r.ProblemID, r.K, support, r.Q, r.R)
+	}
+	spec := core.ProblemSpec{
+		KLo:         1,
+		KHi:         r.K,
+		MinSupport:  support,
+		Objectives:  r.Objectives,
+		Constraints: r.Constraints,
+		Name:        "custom query",
+	}
+	return spec, spec.Validate()
+}
+
+// Parse compiles a query string into a Request.
+func Parse(input string) (*Request, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	req, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("query: expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parse() (*Request, error) {
+	req := &Request{K: 3, Q: 0.5, R: 0.5, Where: map[string]string{}}
+	if err := p.expectKeyword("ANALYZE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atKeyword("PROBLEM"):
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: expected problem number, got %s", t)
+		}
+		id, err := strconv.Atoi(t.text)
+		if err != nil || id < 1 || id > 6 {
+			return nil, fmt.Errorf("query: problem id must be 1..6, got %s", t)
+		}
+		req.ProblemID = id
+	case p.atKeyword("MAXIMIZE"):
+		p.next()
+		for {
+			obj, err := p.parseObjective()
+			if err != nil {
+				return nil, err
+			}
+			req.Objectives = append(req.Objectives, obj)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if p.atKeyword("SUBJECT") {
+			p.next()
+			if err := p.expectKeyword("TO"); err != nil {
+				return nil, err
+			}
+			for {
+				con, err := p.parseConstraint()
+				if err != nil {
+					return nil, err
+				}
+				req.Constraints = append(req.Constraints, con)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+	default:
+		return nil, fmt.Errorf("query: expected PROBLEM or MAXIMIZE, got %s", p.cur())
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		for {
+			name := p.next()
+			if name.kind != tokIdent {
+				return nil, fmt.Errorf("query: expected attribute name, got %s", name)
+			}
+			if t := p.next(); t.kind != tokEq {
+				return nil, fmt.Errorf("query: expected = after %q, got %s", name.text, t)
+			}
+			val := p.next()
+			if val.kind != tokIdent && val.kind != tokNumber {
+				return nil, fmt.Errorf("query: expected value for %q, got %s", name.text, val)
+			}
+			req.Where[name.text] = val.text
+			if !p.atKeyword("AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("WITH") {
+		p.next()
+		for {
+			if err := p.parseParam(req); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %s", t)
+	}
+	return req, nil
+}
+
+// parseMeasureDim parses measure(dimension).
+func (p *parser) parseMeasureDim() (mining.Measure, mining.Dimension, error) {
+	m := p.next()
+	if m.kind != tokIdent {
+		return 0, 0, fmt.Errorf("query: expected measure, got %s", m)
+	}
+	var meas mining.Measure
+	switch strings.ToLower(m.text) {
+	case "similarity", "sim":
+		meas = mining.Similarity
+	case "diversity", "div":
+		meas = mining.Diversity
+	default:
+		return 0, 0, fmt.Errorf("query: unknown measure %q", m.text)
+	}
+	if t := p.next(); t.kind != tokLParen {
+		return 0, 0, fmt.Errorf("query: expected ( after %s, got %s", m.text, t)
+	}
+	d := p.next()
+	if d.kind != tokIdent {
+		return 0, 0, fmt.Errorf("query: expected dimension, got %s", d)
+	}
+	var dim mining.Dimension
+	switch strings.ToLower(d.text) {
+	case "users", "user":
+		dim = mining.Users
+	case "items", "item":
+		dim = mining.Items
+	case "tags", "tag":
+		dim = mining.Tags
+	default:
+		return 0, 0, fmt.Errorf("query: unknown dimension %q", d.text)
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return 0, 0, fmt.Errorf("query: expected ), got %s", t)
+	}
+	return meas, dim, nil
+}
+
+func (p *parser) parseObjective() (core.Objective, error) {
+	meas, dim, err := p.parseMeasureDim()
+	if err != nil {
+		return core.Objective{}, err
+	}
+	obj := core.Objective{Dim: dim, Meas: meas, Weight: 1}
+	if p.cur().kind == tokStar {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return core.Objective{}, fmt.Errorf("query: expected weight after *, got %s", t)
+		}
+		w, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || w <= 0 {
+			return core.Objective{}, fmt.Errorf("query: bad weight %q", t.text)
+		}
+		obj.Weight = w
+	}
+	return obj, nil
+}
+
+func (p *parser) parseConstraint() (core.Constraint, error) {
+	meas, dim, err := p.parseMeasureDim()
+	if err != nil {
+		return core.Constraint{}, err
+	}
+	if t := p.next(); t.kind != tokGE {
+		return core.Constraint{}, fmt.Errorf("query: expected >=, got %s", t)
+	}
+	t := p.next()
+	if t.kind != tokNumber {
+		return core.Constraint{}, fmt.Errorf("query: expected threshold, got %s", t)
+	}
+	th, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || th < 0 || th > 1 {
+		return core.Constraint{}, fmt.Errorf("query: threshold must be in [0,1], got %q", t.text)
+	}
+	return core.Constraint{Dim: dim, Meas: meas, Threshold: th}, nil
+}
+
+func (p *parser) parseParam(req *Request) error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("query: expected parameter name, got %s", name)
+	}
+	if t := p.next(); t.kind != tokEq {
+		return fmt.Errorf("query: expected = after %q, got %s", name.text, t)
+	}
+	val := p.next()
+	switch strings.ToLower(name.text) {
+	case "k":
+		if val.kind != tokNumber {
+			return fmt.Errorf("query: k wants an integer, got %s", val)
+		}
+		k, err := strconv.Atoi(val.text)
+		if err != nil || k < 1 {
+			return fmt.Errorf("query: bad k %q", val.text)
+		}
+		req.K = k
+	case "support":
+		switch val.kind {
+		case tokNumber:
+			s, err := strconv.Atoi(val.text)
+			if err != nil || s < 0 {
+				return fmt.Errorf("query: bad support %q", val.text)
+			}
+			req.SupportAbs, req.SupportPct = s, 0
+		case tokPercent:
+			pct, err := strconv.ParseFloat(val.text, 64)
+			if err != nil || pct < 0 || pct > 100 {
+				return fmt.Errorf("query: bad support percentage %q", val.text)
+			}
+			req.SupportPct, req.SupportAbs = pct, 0
+		default:
+			return fmt.Errorf("query: support wants a count or percentage, got %s", val)
+		}
+	case "q":
+		return parseThresholdInto(&req.Q, val)
+	case "r":
+		return parseThresholdInto(&req.R, val)
+	default:
+		return fmt.Errorf("query: unknown parameter %q (want k, support, q or r)", name.text)
+	}
+	return nil
+}
+
+func parseThresholdInto(dst *float64, val token) error {
+	if val.kind != tokNumber {
+		return fmt.Errorf("query: threshold wants a number, got %s", val)
+	}
+	f, err := strconv.ParseFloat(val.text, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("query: threshold must be in [0,1], got %q", val.text)
+	}
+	*dst = f
+	return nil
+}

@@ -1,0 +1,182 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tagdm/internal/mining"
+)
+
+func TestParseProblemQuery(t *testing.T) {
+	req, err := Parse("ANALYZE PROBLEM 3 WHERE genre=drama WITH k=3, support=1%, q=0.5, r=0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ProblemID != 3 {
+		t.Fatalf("problem = %d", req.ProblemID)
+	}
+	if req.Where["genre"] != "drama" {
+		t.Fatalf("where = %v", req.Where)
+	}
+	if req.K != 3 || req.SupportPct != 1 || req.Q != 0.5 || req.R != 0.6 {
+		t.Fatalf("params = %+v", req)
+	}
+	spec, err := req.Resolve(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MinSupport != 200 {
+		t.Fatalf("resolved support = %d", spec.MinSupport)
+	}
+	if spec.Name != "Problem 3" {
+		t.Fatalf("name = %q", spec.Name)
+	}
+}
+
+func TestParseCustomQuery(t *testing.T) {
+	req, err := Parse(`ANALYZE MAXIMIZE diversity(tags), diversity(users) * 0.5
+		SUBJECT TO similarity(items) >= 0.4
+		WHERE gender=male AND state=CA
+		WITH k=4, support=350`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ProblemID != 0 {
+		t.Fatal("custom query got a problem id")
+	}
+	if len(req.Objectives) != 2 {
+		t.Fatalf("objectives = %v", req.Objectives)
+	}
+	if req.Objectives[0].Dim != mining.Tags || req.Objectives[0].Meas != mining.Diversity {
+		t.Fatalf("objective 0 = %v", req.Objectives[0])
+	}
+	if req.Objectives[1].Weight != 0.5 {
+		t.Fatalf("objective 1 weight = %v", req.Objectives[1].Weight)
+	}
+	if len(req.Constraints) != 1 || req.Constraints[0].Threshold != 0.4 {
+		t.Fatalf("constraints = %v", req.Constraints)
+	}
+	if req.Where["gender"] != "male" || req.Where["state"] != "CA" {
+		t.Fatalf("where = %v", req.Where)
+	}
+	spec, err := req.Resolve(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MinSupport != 350 || spec.KHi != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	req, err := Parse("ANALYZE PROBLEM 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.K != 3 || req.Q != 0.5 || req.R != 0.5 {
+		t.Fatalf("defaults = %+v", req)
+	}
+	if len(req.Where) != 0 {
+		t.Fatal("where should be empty")
+	}
+	if req.SupportAbs != 0 || req.SupportPct != 0 {
+		t.Fatal("support should default to zero")
+	}
+}
+
+func TestParseQuotedValue(t *testing.T) {
+	req, err := Parse("ANALYZE PROBLEM 2 WHERE director='woody allen'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Where["director"] != "woody allen" {
+		t.Fatalf("where = %v", req.Where)
+	}
+}
+
+func TestParseMeasureAliases(t *testing.T) {
+	req, err := Parse("ANALYZE MAXIMIZE div(tag) SUBJECT TO sim(user) >= 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Objectives[0].Dim != mining.Tags || req.Objectives[0].Meas != mining.Diversity {
+		t.Fatalf("objective = %v", req.Objectives[0])
+	}
+	if req.Constraints[0].Dim != mining.Users || req.Constraints[0].Meas != mining.Similarity {
+		t.Fatalf("constraint = %v", req.Constraints[0])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("analyze problem 1 where genre=action with k=2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT * FROM tags",
+		"ANALYZE",
+		"ANALYZE PROBLEM 7",
+		"ANALYZE PROBLEM x",
+		"ANALYZE MAXIMIZE",
+		"ANALYZE MAXIMIZE happiness(tags)",
+		"ANALYZE MAXIMIZE diversity(movies)",
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT similarity(users) >= 0.5",
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT TO similarity(users) > 0.5",
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT TO similarity(users) >= 1.5",
+		"ANALYZE PROBLEM 1 WHERE genre",
+		"ANALYZE PROBLEM 1 WHERE genre=",
+		"ANALYZE PROBLEM 1 WITH k=0",
+		"ANALYZE PROBLEM 1 WITH support=200%",
+		"ANALYZE PROBLEM 1 WITH q=2",
+		"ANALYZE PROBLEM 1 WITH banana=1",
+		"ANALYZE PROBLEM 1 garbage",
+		"ANALYZE MAXIMIZE diversity(tags) * 0",
+		"ANALYZE PROBLEM 1 WHERE a='unterminated",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestParseErrorsMentionPosition(t *testing.T) {
+	_, err := Parse("ANALYZE PROBLEM 1 WHERE a ? b")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "position") && !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("unhelpful error %q", err)
+	}
+}
+
+func TestResolveCustomValidates(t *testing.T) {
+	req, err := Parse("ANALYZE MAXIMIZE diversity(tags) WITH k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Resolve(100); err != nil {
+		t.Fatal(err)
+	}
+	// A custom query with no objectives cannot be expressed; the grammar
+	// requires at least one after MAXIMIZE, so Resolve never sees it.
+}
+
+func TestLexerPercentAndNumbers(t *testing.T) {
+	toks, err := lex("5 2.5 10% x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokNumber, tokNumber, tokPercent, tokIdent, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d kind = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package recommend is a small downstream application of the TagDM
+// pipeline: suggesting tags for a (user, item) pair from the tagging
+// behavior of the user's peer group. The paper motivates its analysis
+// framework with exactly such "subsequent actions" (Section 1) and cites
+// tag recommendation as the canonical tag-mining application.
+//
+// The recommender locates the fully-described group matching the user's
+// and item's combined attribute profile and ranks that group's tags by
+// frequency. When no exact group exists (cold profiles), it backs off to
+// item-profile-only groups, then to the global tag distribution, so a
+// suggestion always exists.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/store"
+)
+
+// Suggestion is one recommended tag with its evidence.
+type Suggestion struct {
+	Tag string
+	// Count is the tag's frequency within the evidence group.
+	Count int
+	// Source describes which backoff level produced the suggestion:
+	// "group", "item-profile", or "global".
+	Source string
+}
+
+// Recommender indexes a group universe for profile lookups.
+type Recommender struct {
+	store *store.Store
+	// byFull maps a full (user attrs, item attrs) profile key to a group.
+	byFull map[string]*groups.Group
+	// byItem maps an item-attribute profile key to the groups over it.
+	byItem map[string][]*groups.Group
+	// global is the corpus-wide tag frequency ranking.
+	global []model.TagCount
+}
+
+// New builds a recommender over enumerated groups.
+func New(s *store.Store, gs []*groups.Group, global []model.TagCount) *Recommender {
+	r := &Recommender{
+		store:  s,
+		byFull: make(map[string]*groups.Group, len(gs)),
+		byItem: make(map[string][]*groups.Group),
+		global: global,
+	}
+	for _, g := range gs {
+		r.byFull[fullKeyOfGroup(s, g)] = g
+		ik := itemKeyOfGroup(s, g)
+		r.byItem[ik] = append(r.byItem[ik], g)
+	}
+	return r
+}
+
+func fullKeyOfGroup(s *store.Store, g *groups.Group) string {
+	var b strings.Builder
+	for i := 0; i < s.UserSchema.Len(); i++ {
+		fmt.Fprintf(&b, "u%d=%d|", i, g.UserValue(i))
+	}
+	for i := 0; i < s.ItemSchema.Len(); i++ {
+		fmt.Fprintf(&b, "i%d=%d|", i, g.ItemValue(i))
+	}
+	return b.String()
+}
+
+func itemKeyOfGroup(s *store.Store, g *groups.Group) string {
+	var b strings.Builder
+	for i := 0; i < s.ItemSchema.Len(); i++ {
+		fmt.Fprintf(&b, "i%d=%d|", i, g.ItemValue(i))
+	}
+	return b.String()
+}
+
+func profileKeys(s *store.Store, userAttrs, itemAttrs []model.ValueCode) (full, item string) {
+	var fb, ib strings.Builder
+	for i, v := range userAttrs {
+		fmt.Fprintf(&fb, "u%d=%d|", i, v)
+	}
+	for i, v := range itemAttrs {
+		fmt.Fprintf(&fb, "i%d=%d|", i, v)
+		fmt.Fprintf(&ib, "i%d=%d|", i, v)
+	}
+	return fb.String(), ib.String()
+}
+
+// Suggest returns up to n tags for the given user and item attribute
+// tuples, most relevant first.
+func (r *Recommender) Suggest(userAttrs, itemAttrs []model.ValueCode, n int) []Suggestion {
+	if n <= 0 {
+		return nil
+	}
+	fullKey, itemKey := profileKeys(r.store, userAttrs, itemAttrs)
+	if g, ok := r.byFull[fullKey]; ok {
+		return r.fromGroups([]*groups.Group{g}, n, "group")
+	}
+	if gs, ok := r.byItem[itemKey]; ok && len(gs) > 0 {
+		return r.fromGroups(gs, n, "item-profile")
+	}
+	out := make([]Suggestion, 0, n)
+	for _, tc := range r.global {
+		if len(out) == n {
+			break
+		}
+		out = append(out, Suggestion{Tag: tc.Tag, Count: tc.Count, Source: "global"})
+	}
+	return out
+}
+
+// fromGroups merges the tag bags of the evidence groups and ranks by
+// frequency (ties by name for determinism).
+func (r *Recommender) fromGroups(gs []*groups.Group, n int, source string) []Suggestion {
+	counts := make(map[model.TagID]int)
+	for _, g := range gs {
+		for tag, c := range groups.TagBag(r.store, g) {
+			counts[tag] += c
+		}
+	}
+	all := make([]Suggestion, 0, len(counts))
+	for tag, c := range counts {
+		all = append(all, Suggestion{Tag: r.store.Vocab.Tag(tag), Count: c, Source: source})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Tag < all[j].Tag
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,134 @@
+package recommend
+
+import (
+	"testing"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/model"
+	"tagdm/internal/store"
+)
+
+// world: male teens tag action movies with gun/fight; female teens with
+// violence; comedies get funny. Profiles cover the backoff ladder.
+func world(t *testing.T) (*model.Dataset, *store.Store, []*groups.Group) {
+	t.Helper()
+	d := model.NewDataset(model.NewSchema("gender", "age"), model.NewSchema("genre"))
+	mt, err := d.AddUser(map[string]string{"gender": "male", "age": "teen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := d.AddUser(map[string]string{"gender": "female", "age": "teen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, err := d.AddItem(map[string]string{"genre": "action"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comedy, err := d.AddItem(map[string]string{"genre": "comedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		must(d.AddAction(mt, action, 0, "gun", "fight"))
+		must(d.AddAction(ft, action, 0, "violence"))
+		must(d.AddAction(mt, comedy, 0, "funny"))
+	}
+	must(d.AddAction(mt, action, 0, "gun")) // gun outranks fight
+	s, err := store.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := (&groups.Enumerator{Store: s, MinTuples: 3}).FullyDescribed()
+	return d, s, gs
+}
+
+func attrsOf(d *model.Dataset, userID, itemID int32) ([]model.ValueCode, []model.ValueCode) {
+	return d.Users[userID].Attrs, d.Items[itemID].Attrs
+}
+
+func TestSuggestExactGroup(t *testing.T) {
+	d, s, gs := world(t)
+	r := New(s, gs, d.TagFrequencies())
+	u, it := attrsOf(d, 0, 0) // male teen, action
+	sug := r.Suggest(u, it, 2)
+	if len(sug) != 2 {
+		t.Fatalf("got %d suggestions", len(sug))
+	}
+	if sug[0].Tag != "gun" || sug[0].Source != "group" {
+		t.Fatalf("top suggestion = %+v", sug[0])
+	}
+	if sug[1].Tag != "fight" {
+		t.Fatalf("second suggestion = %+v", sug[1])
+	}
+	if sug[0].Count <= sug[1].Count {
+		t.Fatal("ranking not by count")
+	}
+}
+
+func TestSuggestItemProfileBackoff(t *testing.T) {
+	d, s, gs := world(t)
+	r := New(s, gs, d.TagFrequencies())
+	// A profile that tagged nothing on action movies: female young.
+	young, err := d.AddUser(map[string]string{"gender": "female", "age": "young"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, it := attrsOf(d, young, 0)
+	sug := r.Suggest(u, it, 3)
+	if len(sug) == 0 {
+		t.Fatal("no suggestions")
+	}
+	for _, sg := range sug {
+		if sg.Source != "item-profile" {
+			t.Fatalf("source = %q", sg.Source)
+		}
+		switch sg.Tag {
+		case "gun", "fight", "violence":
+		default:
+			t.Fatalf("non-action tag %q suggested", sg.Tag)
+		}
+	}
+}
+
+func TestSuggestGlobalBackoff(t *testing.T) {
+	d, s, gs := world(t)
+	r := New(s, gs, d.TagFrequencies())
+	// An item profile that no group covers: a brand-new genre.
+	drama, err := d.AddItem(map[string]string{"genre": "drama"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, it := attrsOf(d, 0, drama)
+	sug := r.Suggest(u, it, 2)
+	if len(sug) != 2 {
+		t.Fatalf("got %d suggestions", len(sug))
+	}
+	for _, sg := range sug {
+		if sg.Source != "global" {
+			t.Fatalf("source = %q", sg.Source)
+		}
+	}
+	// Global top is "gun" (4 occurrences).
+	if sug[0].Tag != "gun" {
+		t.Fatalf("global top = %q", sug[0].Tag)
+	}
+}
+
+func TestSuggestEdgeCases(t *testing.T) {
+	d, s, gs := world(t)
+	r := New(s, gs, d.TagFrequencies())
+	u, it := attrsOf(d, 0, 0)
+	if got := r.Suggest(u, it, 0); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	// Requesting more tags than the group has truncates gracefully.
+	if got := r.Suggest(u, it, 100); len(got) != 2 {
+		t.Fatalf("over-request returned %d", len(got))
+	}
+}

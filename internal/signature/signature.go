@@ -1,0 +1,248 @@
+// Package signature turns the tag multiset of a tagging action group into a
+// group tag signature Trep(g) — a fixed-length weight vector over topic
+// categories (paper Section 2.1.2). Three summarizers are provided:
+//
+//   - Frequency: one dimension per tag, weight = raw frequency. Suitable
+//     when tags are editor-curated and the vocabulary is small.
+//   - TFIDF: one dimension per tag, weight = tf(t, g) * idf(t), where idf is
+//     computed over the collection of groups. Dampens ubiquitous tags.
+//   - LDA: weight vector is the group's inferred topic distribution under a
+//     model trained on the whole dataset (the configuration the paper's
+//     experiments use, with 25 topics).
+//
+// All summarizers implement the Summarizer interface so the mining engine is
+// agnostic to the choice, as the paper advocates.
+package signature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/lda"
+	"tagdm/internal/store"
+	"tagdm/internal/vec"
+)
+
+// Signature is a group tag signature: a weight per topic category.
+type Signature struct {
+	// Weights is the vector compared by the mining functions.
+	Weights []float64
+}
+
+// Dim returns the signature dimensionality.
+func (s Signature) Dim() int { return len(s.Weights) }
+
+// Cosine returns the cosine similarity between two signatures.
+func (s Signature) Cosine(o Signature) float64 { return vec.Cosine(s.Weights, o.Weights) }
+
+// Summarizer produces a signature for a group of tagging actions.
+type Summarizer interface {
+	// Summarize returns the signature of group g in store s.
+	Summarize(s *store.Store, g *groups.Group) Signature
+	// Dim is the dimensionality of produced signatures.
+	Dim() int
+	// Name identifies the method in reports.
+	Name() string
+}
+
+// Frequency summarizes a group as raw tag counts over the full vocabulary.
+type Frequency struct {
+	vocabSize int
+}
+
+// NewFrequency returns a frequency summarizer for a store's vocabulary.
+func NewFrequency(s *store.Store) *Frequency {
+	return &Frequency{vocabSize: s.Vocab.Size()}
+}
+
+// Summarize implements Summarizer.
+func (f *Frequency) Summarize(s *store.Store, g *groups.Group) Signature {
+	w := make([]float64, f.vocabSize)
+	for tag, n := range groups.TagBag(s, g) {
+		if int(tag) < len(w) {
+			w[tag] = float64(n)
+		}
+	}
+	return Signature{Weights: w}
+}
+
+// Dim implements Summarizer.
+func (f *Frequency) Dim() int { return f.vocabSize }
+
+// Name implements Summarizer.
+func (f *Frequency) Name() string { return "frequency" }
+
+// TFIDF summarizes a group as tf*idf weights. The idf table must be fitted
+// over the collection of groups that will be compared, mirroring how idf is
+// computed over a document collection.
+type TFIDF struct {
+	vocabSize int
+	idf       []float64
+}
+
+// FitTFIDF computes idf(t) = ln((1+N)/(1+df(t))) + 1 over the given groups,
+// where df counts groups containing the tag.
+func FitTFIDF(s *store.Store, gs []*groups.Group) *TFIDF {
+	v := s.Vocab.Size()
+	df := make([]int, v)
+	for _, g := range gs {
+		for tag := range groups.TagBag(s, g) {
+			if int(tag) < v {
+				df[tag]++
+			}
+		}
+	}
+	idf := make([]float64, v)
+	n := float64(len(gs))
+	for t := range idf {
+		idf[t] = math.Log((1+n)/(1+float64(df[t]))) + 1
+	}
+	return &TFIDF{vocabSize: v, idf: idf}
+}
+
+// Summarize implements Summarizer.
+func (t *TFIDF) Summarize(s *store.Store, g *groups.Group) Signature {
+	w := make([]float64, t.vocabSize)
+	bag := groups.TagBag(s, g)
+	var total int
+	for _, n := range bag {
+		total += n
+	}
+	if total == 0 {
+		return Signature{Weights: w}
+	}
+	for tag, n := range bag {
+		if int(tag) < len(w) {
+			tf := float64(n) / float64(total)
+			w[tag] = tf * t.idf[tag]
+		}
+	}
+	return Signature{Weights: w}
+}
+
+// Dim implements Summarizer.
+func (t *TFIDF) Dim() int { return t.vocabSize }
+
+// Name implements Summarizer.
+func (t *TFIDF) Name() string { return "tfidf" }
+
+// LDA summarizes a group as its topic distribution under a trained model.
+type LDA struct {
+	Model *lda.Model
+	// InferIterations is the Gibbs length for folding in a group (default 30).
+	InferIterations int
+	// Seed makes inference deterministic per group (group ID is mixed in).
+	Seed int64
+}
+
+// TrainLDA fits an LDA model treating each group's tag multiset as one
+// document. Returns the summarizer ready for use on the same store.
+func TrainLDA(s *store.Store, gs []*groups.Group, topics, iterations int, seed int64) (*LDA, error) {
+	docs := make([]lda.Document, len(gs))
+	for i, g := range gs {
+		var doc lda.Document
+		for tag, n := range groups.TagBag(s, g) {
+			for j := 0; j < n; j++ {
+				doc = append(doc, int(tag))
+			}
+		}
+		sort.Ints(doc) // map iteration order must not leak into training
+		docs[i] = doc
+	}
+	m, err := lda.Train(lda.Corpus{Docs: docs, VocabSize: s.Vocab.Size()},
+		lda.Config{Topics: topics, Iterations: iterations, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("signature: training LDA: %w", err)
+	}
+	return &LDA{Model: m, InferIterations: 30, Seed: seed}, nil
+}
+
+// Summarize implements Summarizer.
+func (l *LDA) Summarize(s *store.Store, g *groups.Group) Signature {
+	var doc lda.Document
+	for tag, n := range groups.TagBag(s, g) {
+		for j := 0; j < n; j++ {
+			doc = append(doc, int(tag))
+		}
+	}
+	sort.Ints(doc)
+	theta := l.Model.Infer(doc, l.InferIterations, l.Seed+int64(g.ID)*7919)
+	return Signature{Weights: theta}
+}
+
+// Dim implements Summarizer.
+func (l *LDA) Dim() int { return l.Model.K }
+
+// Name implements Summarizer.
+func (l *LDA) Name() string { return "lda" }
+
+// SummarizeAll computes signatures for every group, indexed by group ID.
+func SummarizeAll(sum Summarizer, s *store.Store, gs []*groups.Group) []Signature {
+	out := make([]Signature, len(gs))
+	for i, g := range gs {
+		out[i] = sum.Summarize(s, g)
+	}
+	return out
+}
+
+// CloudEntry is one tag of a rendered tag cloud with its display size.
+type CloudEntry struct {
+	Tag   string
+	Count int
+	// Size is a display bucket in [1, 5]; 5 = most frequent.
+	Size int
+}
+
+// Cloud computes a frequency-based tag cloud for the tuples of a group —
+// the visualization of paper Figures 1 and 2 — limited to the topN most
+// frequent tags.
+func Cloud(s *store.Store, g *groups.Group, topN int) []CloudEntry {
+	bag := groups.TagBag(s, g)
+	entries := make([]CloudEntry, 0, len(bag))
+	for tag, n := range bag {
+		entries = append(entries, CloudEntry{Tag: s.Vocab.Tag(tag), Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Tag < entries[j].Tag
+	})
+	if topN > 0 && len(entries) > topN {
+		entries = entries[:topN]
+	}
+	if len(entries) == 0 {
+		return entries
+	}
+	max := float64(entries[0].Count)
+	min := float64(entries[len(entries)-1].Count)
+	span := max - min
+	for i := range entries {
+		if span == 0 {
+			entries[i].Size = 3
+			continue
+		}
+		entries[i].Size = 1 + int(4*(float64(entries[i].Count)-min)/span+0.5)
+		if entries[i].Size > 5 {
+			entries[i].Size = 5
+		}
+	}
+	return entries
+}
+
+// RenderCloud renders a cloud as text, uppercasing the largest bucket and
+// annotating counts, e.g. "WOODY(41) allen(39) drama(12) ...".
+func RenderCloud(entries []CloudEntry) string {
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		tag := e.Tag
+		if e.Size >= 4 {
+			tag = strings.ToUpper(tag)
+		}
+		parts[i] = fmt.Sprintf("%s(%d)", tag, e.Count)
+	}
+	return strings.Join(parts, " ")
+}

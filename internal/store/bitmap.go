@@ -1,0 +1,149 @@
+// Package store provides an in-memory columnar store over expanded tagging
+// action tuples r = <user attrs..., item attrs..., tags> (paper Section 2).
+// Conjunctive predicates evaluate by intersecting per-(attribute, value)
+// bitmap posting lists, and group support (Definition 1) is the cardinality
+// of a union of group bitmaps.
+package store
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitmap is a fixed-universe bitset over tuple ids [0, n).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an empty bitmap over a universe of n tuple ids.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Universe returns the size of the id universe.
+func (b *Bitmap) Universe() int { return b.n }
+
+// Set marks id as present.
+func (b *Bitmap) Set(id int) {
+	b.words[id/wordBits] |= 1 << (uint(id) % wordBits)
+}
+
+// Contains reports whether id is present.
+func (b *Bitmap) Contains(id int) bool {
+	if id < 0 || id >= b.n {
+		return false
+	}
+	return b.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// And intersects other into b in place.
+func (b *Bitmap) And(other *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or unions other into b in place. If other covers a larger universe, b
+// grows to match (supports incremental appends).
+func (b *Bitmap) Or(other *Bitmap) {
+	if len(other.words) > len(b.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, b.words)
+		b.words = grown
+		b.n = other.n
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNot removes other's bits from b in place.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Grow extends the universe to at least n ids, preserving contents.
+func (b *Bitmap) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(b.words) {
+		grown := make([]uint64, need)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	b.n = n
+}
+
+// ForEach calls fn for every set id in ascending order. Iteration stops if
+// fn returns false.
+func (b *Bitmap) ForEach(fn func(id int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns all set ids in ascending order.
+func (b *Bitmap) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// AndCount returns |b AND other| without materializing the intersection.
+func (b *Bitmap) AndCount(other *Bitmap) int {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b.words[i] & other.words[i])
+	}
+	return c
+}
+
+// UnionCount returns the cardinality of the union of the given bitmaps.
+// It implements group support: Support = |{r : exists g in G, r in g}|.
+func UnionCount(maps []*Bitmap) int {
+	if len(maps) == 0 {
+		return 0
+	}
+	u := maps[0].Clone()
+	for _, m := range maps[1:] {
+		u.Or(m)
+	}
+	return u.Count()
+}

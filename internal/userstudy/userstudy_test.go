@@ -1,0 +1,89 @@
+package userstudy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestVoteConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var pct float64
+	for i := range res.Votes {
+		total += res.Votes[i]
+		pct += res.Pct[i]
+	}
+	if total != cfg.Judges*cfg.Queries {
+		t.Fatalf("votes = %d, want %d", total, cfg.Judges*cfg.Queries)
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+}
+
+func TestPaperShapeRecovered(t *testing.T) {
+	// With many judgments, the single-diversity instances (2, 3, 6) must
+	// collectively dominate, reproducing Figure 9's shape.
+	cfg := Config{Judges: 500, Queries: 3, Noise: 0.35, Familiarity: 0.5, Seed: 7}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := res.Pct[1] + res.Pct[2] + res.Pct[5] // problems 2, 3, 6
+	other := res.Pct[0] + res.Pct[3] + res.Pct[4]  // problems 1, 4, 5
+	if single <= other {
+		t.Fatalf("single-diversity %.1f%% did not dominate others %.1f%%", single, other)
+	}
+	// And each of 2, 3, 6 individually beats each of 1, 4, 5.
+	for _, win := range []int{1, 2, 5} {
+		for _, lose := range []int{0, 3, 4} {
+			if res.Pct[win] <= res.Pct[lose] {
+				t.Fatalf("problem %d (%.1f%%) did not beat problem %d (%.1f%%)",
+					win+1, res.Pct[win], lose+1, res.Pct[lose])
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := Run(DefaultConfig())
+	b, _ := Run(DefaultConfig())
+	if a.Votes != b.Votes {
+		t.Fatal("same seed, different votes")
+	}
+	alt := DefaultConfig()
+	alt.Seed = 99
+	c, _ := Run(alt)
+	if a.Votes == c.Votes {
+		t.Fatal("different seeds, identical votes (suspicious)")
+	}
+}
+
+func TestRender(t *testing.T) {
+	res, _ := Run(DefaultConfig())
+	out := res.Render()
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(out, "Problem "+string(rune('0'+i))) {
+			t.Fatalf("render missing problem %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestDiversityCount(t *testing.T) {
+	want := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 1}
+	for id, n := range want {
+		if got := diversityCount(id); got != n {
+			t.Fatalf("diversityCount(%d) = %d, want %d", id, got, n)
+		}
+	}
+}

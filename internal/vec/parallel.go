@@ -1,0 +1,52 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// NewMatrixParallel computes the same condensed pairwise matrix as
+// NewMatrix but splits the row range across workers goroutines (default:
+// GOMAXPROCS when workers <= 0). dist must be safe for concurrent calls —
+// pure functions over immutable data, which every distance in this
+// codebase is. Row i owns the contiguous condensed segment of pairs
+// (i, i+1..n-1), so workers write disjoint slices and need no locking.
+func NewMatrixParallel(n int, dist DistFunc, workers int) *Matrix {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	m := &Matrix{n: n, data: make([]float64, n*(n-1)/2)}
+	if n < 2 {
+		return m
+	}
+	if workers <= 1 {
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.data[idx] = dist(i, j)
+				idx++
+			}
+		}
+		return m
+	}
+	// Rows shrink as i grows (row i has n-1-i pairs), so static striding
+	// (worker w takes rows w, w+workers, ...) balances load well enough.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				base := i*(2*n-i-1)/2 - i // offset of pair (i, i+1)
+				for j := i + 1; j < n; j++ {
+					m.data[base+j-1] = dist(i, j)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,63 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 3, 7, 50, 123} {
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		dist := func(i, j int) float64 { return Euclidean(pts[i], pts[j]) }
+		serial := NewMatrix(n, dist)
+		for _, workers := range []int{0, 1, 2, 5, 64} {
+			par := NewMatrixParallel(n, dist, workers)
+			if par.Len() != serial.Len() {
+				t.Fatalf("n=%d workers=%d: Len mismatch", n, workers)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if par.At(i, j) != serial.At(i, j) {
+						t.Fatalf("n=%d workers=%d cell (%d,%d): %v != %v",
+							n, workers, i, j, par.At(i, j), serial.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatrixSerial(b *testing.B) {
+	pts := randomPoints(400, 25, 1)
+	dist := func(i, j int) float64 { return CosineDistance(pts[i], pts[j]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMatrix(len(pts), dist)
+	}
+}
+
+func BenchmarkMatrixParallel(b *testing.B) {
+	pts := randomPoints(400, 25, 1)
+	dist := func(i, j int) float64 { return CosineDistance(pts[i], pts[j]) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMatrixParallel(len(pts), dist, 0)
+	}
+}
+
+func randomPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return pts
+}

@@ -1,0 +1,126 @@
+package tagdm
+
+import (
+	"strings"
+	"testing"
+
+	"tagdm/internal/mining"
+)
+
+func TestRunQueryProblem(t *testing.T) {
+	ds := smallDataset(t)
+	a, res, err := RunQuery(ds,
+		"ANALYZE PROBLEM 3 WITH k=3, support=1%, q=0.4, r=0.4",
+		Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGroups() == 0 {
+		t.Fatal("no groups")
+	}
+	if res.Found {
+		if !strings.HasPrefix(res.Algorithm, "SM-LSH") {
+			t.Fatalf("problem 3 dispatched to %s", res.Algorithm)
+		}
+		if res.Support < a.NumActions()/100 {
+			t.Fatalf("support %d below 1%% floor", res.Support)
+		}
+	}
+}
+
+func TestRunQueryCustomWithWhere(t *testing.T) {
+	ds := smallDataset(t)
+	gender := ds.UserSchema.AttrByName("gender").Value(1)
+	a, res, err := RunQuery(ds,
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT TO similarity(items) >= 0.5 WHERE gender="+gender+" WITH k=2, support=10",
+		Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumActions() >= full.NumActions() {
+		t.Fatal("WHERE clause did not scope the corpus")
+	}
+	if res.Found && !strings.HasPrefix(res.Algorithm, "DV-FDP") {
+		t.Fatalf("diversity query dispatched to %s", res.Algorithm)
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	ds := smallDataset(t)
+	if _, _, err := RunQuery(ds, "SELECT 1", Options{}); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+	if _, _, err := RunQuery(ds, "ANALYZE PROBLEM 1 WHERE gender=martian", Options{}); err == nil {
+		t.Fatal("empty scope accepted")
+	}
+}
+
+func TestParseQueryExported(t *testing.T) {
+	req, err := ParseQuery("ANALYZE PROBLEM 2 WITH k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ProblemID != 2 || req.K != 5 {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestSetMeasureChangesResults(t *testing.T) {
+	ds := smallDataset(t)
+	a, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := Problem(1, 2, 10, 0.4, 0.4)
+	base, err := a.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a degenerate user measure that calls every pair identical;
+	// the user constraint then never binds.
+	a.SetMeasure(DimUsers, MeasureSimilarity, func(g1, g2 *Group) float64 { return 1 })
+	loose, err := a.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a weaker constraint the objective cannot get worse.
+	if base.Found && loose.Found && loose.Objective < base.Objective-1e-9 {
+		t.Fatalf("loosening a constraint reduced the objective: %v -> %v",
+			base.Objective, loose.Objective)
+	}
+}
+
+func TestRatingAwareMeasureThroughFacade(t *testing.T) {
+	ds := smallDataset(t)
+	a, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := a.RatingAwareItemSimilarity(0.5)
+	a.SetMeasure(DimItems, MeasureSimilarity, f)
+	a.SetMeasure(DimItems, MeasureDiversity, mining.Inverse(f))
+	spec, _ := Problem(2, 3, 10, 0.3, 0.1)
+	if _, err := a.Solve(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainAwareMeasuresThroughFacade(t *testing.T) {
+	ds := smallDataset(t)
+	a, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := a.DomainAwareUserSimilarity(mining.EditDistanceValueSimilarity)
+	i := a.DomainAwareItemSimilarity(mining.EditDistanceValueSimilarity)
+	a.SetMeasure(DimUsers, MeasureSimilarity, u)
+	a.SetMeasure(DimItems, MeasureSimilarity, i)
+	spec, _ := Problem(1, 2, 10, 0.3, 0.3)
+	if _, err := a.Solve(spec); err != nil {
+		t.Fatal(err)
+	}
+}

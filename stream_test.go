@@ -1,0 +1,89 @@
+package tagdm
+
+import (
+	"testing"
+)
+
+func streamWorld(t *testing.T) (*Dataset, int32, int32, int32) {
+	t.Helper()
+	ds := NewDataset(NewSchema("gender"), NewSchema("genre"))
+	male, err := ds.AddUser(map[string]string{"gender": "male"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	female, err := ds.AddUser(map[string]string{"gender": "female"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := ds.AddItem(map[string]string{"genre": "action"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"gun", "violence"} {
+		ds.Vocab.ID(tag)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ds.AddAction(male, item, 0, "gun"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds, male, female, item
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	ds, _, _, _ := streamWorld(t)
+	if _, err := NewMaintainer(ds, Options{Within: map[string]string{"gender": "male"}, Signatures: SignatureFrequency}); err == nil {
+		t.Fatal("Within accepted for a stream")
+	}
+	if _, err := NewMaintainer(ds, Options{Signatures: SignatureLDA}); err == nil {
+		t.Fatal("LDA without custom summarizer accepted")
+	}
+}
+
+func TestMaintainerInsertAndSolve(t *testing.T) {
+	ds, _, female, item := streamWorld(t)
+	m, err := NewMaintainer(ds, Options{Signatures: SignatureFrequency, MinGroupTuples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGroups() != 1 || m.NumActions() != 5 {
+		t.Fatalf("initial state: %d groups, %d actions", m.NumGroups(), m.NumActions())
+	}
+	spec, err := Problem(6, 2, 5, 0.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Insert(female, item, 0, "violence"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.NumGroups() != 2 {
+		t.Fatalf("groups after stream = %d", m.NumGroups())
+	}
+	res, err := m.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Groups) != 2 {
+		t.Fatalf("found=%v groups=%d", res.Found, len(res.Groups))
+	}
+	if res.Objective < 0.9 {
+		t.Fatalf("disjoint tag sets should be near-fully diverse, got %v", res.Objective)
+	}
+	descs := m.Describe(res)
+	if len(descs) != 2 {
+		t.Fatal("describe mismatch")
+	}
+}
+
+func TestMaintainerRejectsUnknownUser(t *testing.T) {
+	ds, _, _, item := streamWorld(t)
+	m, err := NewMaintainer(ds, Options{Signatures: SignatureFrequency, MinGroupTuples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(99, item, 0, "x"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
