@@ -1,0 +1,130 @@
+// Command tagdm-serve runs the TagDM analysis server: an HTTP JSON API
+// answering ANALYZE queries over a dataset that keeps growing through
+// streaming ingest.
+//
+// Usage:
+//
+//	tagdm-serve [-addr :8080] [-data file.json | -generate small|paper |
+//	            -user-attrs a,b -item-attrs c,d]
+//	            [-min-group-tuples 5] [-workers 4] [-queue 64]
+//	            [-cache 256] [-refresh-every 1] [-timeout 30s] [-seed 1]
+//
+// The corpus comes from one of three places: a dataset JSON file written by
+// tagdm-datagen or Dataset.WriteJSON (-data), a synthesized corpus
+// (-generate), or an empty dataset over explicit schemas (-user-attrs /
+// -item-attrs) to be populated entirely through POST /v1/actions.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"query": "ANALYZE PROBLEM 3 WITH k=3, support=1%"}
+//	POST /v1/actions  {"actions": [{"user": 1, "item": 2, "tags": ["epic"]}]}
+//	POST /v1/refresh  force snapshot publication
+//	GET  /v1/stats    cache hit rate, queue depth, solve latencies (JSON)
+//	GET  /metrics     the same in Prometheus text format
+//	GET  /healthz     liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tagdm"
+	"tagdm/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm-serve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataFile     = flag.String("data", "", "dataset JSON file")
+		generate     = flag.String("generate", "", "synthesize a corpus instead: small or paper")
+		userAttrs    = flag.String("user-attrs", "", "comma-separated user schema for an empty dataset")
+		itemAttrs    = flag.String("item-attrs", "", "comma-separated item schema for an empty dataset")
+		minTuples    = flag.Int("min-group-tuples", 5, "drop groups smaller than this")
+		workers      = flag.Int("workers", 4, "concurrent solver executions")
+		queue        = flag.Int("queue", 64, "queued analyze requests beyond the running ones")
+		cacheSize    = flag.Int("cache", 256, "analyze result cache entries (0 disables)")
+		refreshEvery = flag.Int("refresh-every", 1, "publish a snapshot every N inserts")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request solve timeout")
+		seed         = flag.Int64("seed", 1, "LSH seed for reproducible answers")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataFile, *generate, *userAttrs, *itemAttrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cache := *cacheSize
+	if cache == 0 {
+		cache = -1 // Config treats 0 as "default"; negative disables
+	}
+	srv, err := server.New(server.Config{
+		Dataset:        ds,
+		MinGroupTuples: *minTuples,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      cache,
+		RefreshEvery:   *refreshEvery,
+		SolveTimeout:   *timeout,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	stats := ds.Stats()
+	log.Printf("serving %d users, %d items, %d actions, %d-tag vocabulary on %s",
+		stats.Users, stats.Items, stats.Actions, stats.VocabSize, *addr)
+	log.Printf("endpoints: POST /v1/analyze, POST /v1/actions, POST /v1/refresh, GET /v1/stats, GET /metrics")
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadDataset resolves the three corpus sources in priority order: file,
+// generator, empty schemas.
+func loadDataset(dataFile, generate, userAttrs, itemAttrs string) (*tagdm.Dataset, error) {
+	switch {
+	case dataFile != "":
+		f, err := os.Open(dataFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tagdm.ReadDatasetJSON(f)
+	case generate != "":
+		var cfg tagdm.GenerateConfig
+		switch generate {
+		case "small":
+			cfg = tagdm.SmallGenerateConfig()
+		case "paper":
+			cfg = tagdm.DefaultGenerateConfig()
+		default:
+			return nil, fmt.Errorf("unknown -generate %q (want small or paper)", generate)
+		}
+		return tagdm.GenerateDataset(cfg)
+	case userAttrs != "" && itemAttrs != "":
+		return tagdm.NewDataset(
+			tagdm.NewSchema(splitAttrs(userAttrs)...),
+			tagdm.NewSchema(splitAttrs(itemAttrs)...),
+		), nil
+	default:
+		return nil, fmt.Errorf("need -data, -generate, or both -user-attrs and -item-attrs")
+	}
+}
+
+func splitAttrs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,3 @@
+module tagdm
+
+go 1.24

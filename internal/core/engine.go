@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tagdm/internal/groups"
@@ -17,7 +18,10 @@ type Engine struct {
 	Groups []*groups.Group
 	Sigs   []signature.Signature
 
-	// pairFuncs caches the concrete pair function per (dimension, measure).
+	// pairFuncs caches the concrete pair function per (dimension, measure);
+	// mu guards it so concurrent Solves on one engine (a server answering
+	// parallel analyze requests against a shared snapshot) are safe.
+	mu        sync.Mutex
 	pairFuncs map[pairKey]mining.PairFunc
 }
 
@@ -44,6 +48,8 @@ func NewEngine(s *store.Store, gs []*groups.Group, sigs []signature.Signature) (
 // PairFunc returns the cached concrete pair function for a binding.
 func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.PairFunc {
 	k := pairKey{dim, meas}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if f, ok := e.pairFuncs[k]; ok {
 		return f
 	}
@@ -60,6 +66,8 @@ func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.Pair
 // independently, so set both (dim, Similarity) and (dim, Diversity) when
 // both appear in specs.
 func (e *Engine) SetPairFunc(dim mining.Dimension, meas mining.Measure, f mining.PairFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.pairFuncs[pairKey{dim, meas}] = f
 }
 

@@ -28,6 +28,14 @@ import (
 )
 
 // Maintainer tracks a store and its group universe across inserts.
+//
+// Concurrency contract: a Maintainer is single-writer. Insert, Refresh and
+// Snapshot must be externally serialized (one goroutine, or a mutex).
+// Engines returned by Refresh share the maintainer's mutable state and must
+// not be used concurrently with further inserts; engines returned by
+// Snapshot are frozen copies that any number of goroutines may query while
+// the writer keeps inserting — the epoch/snapshot scheme internal/server
+// builds on.
 type Maintainer struct {
 	dataset   *model.Dataset
 	store     *store.Store
@@ -47,6 +55,7 @@ type Maintainer struct {
 	dirty map[int]bool
 
 	inserts int
+	version int64
 }
 
 // pending is a group that may or may not have crossed the threshold yet.
@@ -144,8 +153,14 @@ func (m *Maintainer) Insert(a model.TaggingAction) error {
 		m.dirty[p.group.ID] = true
 	}
 	m.inserts++
+	m.version++
 	return nil
 }
+
+// Version is a monotonic counter bumped on every Insert. Two equal versions
+// observe identical store contents, so it doubles as the epoch for
+// snapshot-keyed result caches.
+func (m *Maintainer) Version() int64 { return m.version }
 
 // Stats reports maintenance counters.
 type Stats struct {
@@ -184,6 +199,58 @@ func (m *Maintainer) resummarize() {
 func (m *Maintainer) Refresh() (*core.Engine, error) {
 	m.resummarize()
 	return core.NewEngine(m.store, m.active, m.sigs)
+}
+
+// Snapshot is a frozen, self-contained view of the maintained analysis:
+// an engine over a deep-copied store and group universe that later inserts
+// cannot touch.
+type Snapshot struct {
+	// Engine answers queries against the frozen universe; safe for
+	// concurrent Solve calls.
+	Engine *core.Engine
+	// Store is the frozen store the engine reads from (group descriptions,
+	// scoped re-enumeration).
+	Store *store.Store
+	// Groups is the frozen group universe (aliases Engine.Groups).
+	Groups []*groups.Group
+	// Version is the maintainer version the snapshot was taken at.
+	Version int64
+	// VocabSize is the tag vocabulary size at snapshot time. The store
+	// shares the live (growing) vocabulary; consumers that size vectors by
+	// vocabulary — e.g. frequency signatures for scoped re-analyses — must
+	// use this frozen size so equal versions keep producing equal answers.
+	VocabSize int
+}
+
+// Snapshot re-summarizes dirty groups and returns a frozen copy of the
+// analysis. Unlike Refresh, the result is isolated from subsequent inserts:
+// the store, group bitmaps and membership lists are deep-copied, so readers
+// may run queries on the snapshot while the writer keeps inserting. The
+// copy is O(store size); batch inserts between snapshots to amortize it.
+func (m *Maintainer) Snapshot() (*Snapshot, error) {
+	m.resummarize()
+	st := m.store.Clone()
+	gs := make([]*groups.Group, len(m.active))
+	for i, g := range m.active {
+		gs[i] = &groups.Group{
+			ID:      g.ID,
+			Pred:    g.Pred, // terms are immutable once built
+			Tuples:  g.Tuples.Clone(),
+			Members: append([]int(nil), g.Members...),
+		}
+	}
+	sigs := append([]signature.Signature(nil), m.sigs...)
+	eng, err := core.NewEngine(st, gs, sigs)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Engine:    eng,
+		Store:     st,
+		Groups:    gs,
+		Version:   m.version,
+		VocabSize: st.Vocab.Size(),
+	}, nil
 }
 
 // Store exposes the underlying store (read-only use).

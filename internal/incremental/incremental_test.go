@@ -277,3 +277,71 @@ func TestInsertRejectsUnknownReferences(t *testing.T) {
 		t.Fatal("unknown user accepted")
 	}
 }
+
+func TestVersionBumpsPerInsert(t *testing.T) {
+	d, m, _, action := world(t)
+	maint, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maint.Version() != 0 {
+		t.Fatalf("initial version = %d", maint.Version())
+	}
+	for i := 1; i <= 3; i++ {
+		if err := maint.Insert(model.TaggingAction{User: m, Item: action}); err != nil {
+			t.Fatal(err)
+		}
+		if maint.Version() != int64(i) {
+			t.Fatalf("version after %d inserts = %d", i, maint.Version())
+		}
+	}
+}
+
+func TestSnapshotIsolatedFromLaterInserts(t *testing.T) {
+	d, m, f, action := world(t)
+	maint, err := New(d, 3, newSummarizer(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := maint.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 0 || len(snap.Groups) != 1 || snap.Store.Len() != 5 {
+		t.Fatalf("snapshot = version %d, %d groups, %d tuples", snap.Version, len(snap.Groups), snap.Store.Len())
+	}
+	sizeBefore := snap.Groups[0].Size()
+
+	// Grow the maintained universe: female-action activates, male-action
+	// grows. The frozen snapshot must see none of it.
+	for i := 0; i < 4; i++ {
+		if err := maint.Insert(model.TaggingAction{User: f, Item: action}); err != nil {
+			t.Fatal(err)
+		}
+		if err := maint.Insert(model.TaggingAction{User: m, Item: action}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(snap.Groups) != 1 || snap.Groups[0].Size() != sizeBefore || snap.Store.Len() != 5 {
+		t.Fatalf("snapshot mutated by later inserts: %d groups, size %d, %d tuples",
+			len(snap.Groups), snap.Groups[0].Size(), snap.Store.Len())
+	}
+
+	// And a fresh snapshot sees everything.
+	snap2, err := maint.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version != 8 || len(snap2.Groups) != 2 || snap2.Store.Len() != 13 {
+		t.Fatalf("fresh snapshot = version %d, %d groups, %d tuples", snap2.Version, len(snap2.Groups), snap2.Store.Len())
+	}
+
+	// The frozen engine still answers queries.
+	spec, err := core.PaperProblem(1, 2, 1, 0.0, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Engine.Solve(spec, core.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,14 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TagID identifies a tag in a Vocabulary.
 type TagID int32
 
 // Vocabulary is the tag dictionary T. Tags are free-form strings with a
-// long-tail distribution; the vocabulary maps them to dense ids.
+// long-tail distribution; the vocabulary maps them to dense ids. It is safe
+// for concurrent use: a streaming server interns new tags while analyses
+// read the dictionary.
 type Vocabulary struct {
+	mu    sync.RWMutex
 	tags  []string
 	index map[string]TagID
 }
@@ -23,6 +27,8 @@ func NewVocabulary() *Vocabulary {
 
 // ID returns the id for tag, interning it if new.
 func (v *Vocabulary) ID(tag string) TagID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if id, ok := v.index[tag]; ok {
 		return id
 	}
@@ -34,12 +40,16 @@ func (v *Vocabulary) ID(tag string) TagID {
 
 // Lookup returns the id of tag without interning.
 func (v *Vocabulary) Lookup(tag string) (TagID, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	id, ok := v.index[tag]
 	return id, ok
 }
 
 // Tag returns the string form of id; out-of-range ids render as "?".
 func (v *Vocabulary) Tag(id TagID) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	if id < 0 || int(id) >= len(v.tags) {
 		return "?"
 	}
@@ -47,7 +57,11 @@ func (v *Vocabulary) Tag(id TagID) string {
 }
 
 // Size is the number of distinct tags.
-func (v *Vocabulary) Size() int { return len(v.tags) }
+func (v *Vocabulary) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.tags)
+}
 
 // User is a row of the user relation: an id plus one code per user-schema
 // attribute.

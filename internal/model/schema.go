@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ValueCode is the dictionary-encoded form of an attribute value. Code 0 is
@@ -23,9 +24,13 @@ type ValueCode int32
 const Unknown ValueCode = 0
 
 // Attribute is one named column of a Schema together with its value
-// dictionary.
+// dictionary. The dictionary is safe for concurrent use: interning new
+// values (Code) may race with rendering and predicate parsing when a
+// server ingests entities while analyses read group descriptions.
 type Attribute struct {
-	Name   string
+	Name string
+
+	mu     sync.RWMutex
 	values []string // index = int(code)-1
 	codes  map[string]ValueCode
 }
@@ -37,6 +42,8 @@ func NewAttribute(name string) *Attribute {
 
 // Code returns the code for value, adding it to the dictionary if absent.
 func (a *Attribute) Code(value string) ValueCode {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if c, ok := a.codes[value]; ok {
 		return c
 	}
@@ -49,6 +56,8 @@ func (a *Attribute) Code(value string) ValueCode {
 // Lookup returns the code for value without modifying the dictionary. The
 // second result reports whether the value is known.
 func (a *Attribute) Lookup(value string) (ValueCode, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	c, ok := a.codes[value]
 	return c, ok
 }
@@ -56,6 +65,8 @@ func (a *Attribute) Lookup(value string) (ValueCode, bool) {
 // Value returns the string form of a code, or "?" for Unknown and
 // out-of-range codes.
 func (a *Attribute) Value(c ValueCode) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if c <= 0 || int(c) > len(a.values) {
 		return "?"
 	}
@@ -64,10 +75,16 @@ func (a *Attribute) Value(c ValueCode) string {
 
 // Cardinality is the number of distinct values in the dictionary, not
 // counting Unknown.
-func (a *Attribute) Cardinality() int { return len(a.values) }
+func (a *Attribute) Cardinality() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.values)
+}
 
 // Values returns a copy of the dictionary in code order.
 func (a *Attribute) Values() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := make([]string, len(a.values))
 	copy(out, a.values)
 	return out

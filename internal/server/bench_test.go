@@ -1,0 +1,31 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServerAnalyze tracks the serving-path latency of one analyze
+// request, cold (cache disabled, every request solves) and cached (the
+// steady state of a dashboard re-issuing the same query).
+func BenchmarkServerAnalyze(b *testing.B) {
+	bench := func(b *testing.B, cacheSize int) {
+		srv, err := New(Config{Dataset: testDataset(b), MinGroupTuples: 2, CacheSize: cacheSize, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			status, _ := analyze(b, ts, testQuery)
+			if status != http.StatusOK {
+				b.Fatalf("status = %d", status)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { bench(b, -1) })
+	b.Run("cached", func(b *testing.B) { bench(b, 256) })
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// cacheKey identifies one analyze result: the whitespace-normalized query
+// text plus the engine epoch it was computed against. Keying on the epoch
+// gives cheap, exact invalidation — after ingest publishes a new snapshot,
+// every old entry simply stops matching and ages out of the LRU.
+type cacheKey struct {
+	query string
+	epoch int64
+}
+
+// canonicalQuery collapses runs of whitespace so trivially reformatted
+// queries (extra spaces, newlines) share a cache entry — except inside
+// single-quoted values, where whitespace is significant (the lexer takes
+// quoted text verbatim, so genre='new  york' and genre='new york' are
+// different values). Keyword case is left alone for the same reason:
+// keywords are case-insensitive but attribute values are not, so
+// normalizing either would conflate distinct queries.
+func canonicalQuery(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	inQuote, pendingSpace := false, false
+	for _, r := range q {
+		if inQuote {
+			b.WriteRune(r)
+			if r == '\'' {
+				inQuote = false
+			}
+			continue
+		}
+		if unicode.IsSpace(r) {
+			pendingSpace = true
+			continue
+		}
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		b.WriteRune(r)
+		if r == '\'' {
+			inQuote = true
+		}
+	}
+	return b.String()
+}
+
+// resultCache is a mutex-guarded LRU over analyze responses. Entries are
+// immutable once stored; handlers copy before personalizing (the Cached
+// flag).
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val *analyzeResponse
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached response for k, promoting it to most recent.
+func (c *resultCache) get(k cacheKey) (*analyzeResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores v under k, evicting the least recently used entry when full.
+func (c *resultCache) put(k cacheKey, v *analyzeResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, val: v})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns the current size and lifetime eviction count.
+func (c *resultCache) stats() (size int, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.evictions
+}

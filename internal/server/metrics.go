@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's counters and the solve-latency histogram.
+// Everything is atomic so the hot paths never contend on a lock, and the
+// /metrics endpoint renders a consistent-enough point-in-time view.
+type metrics struct {
+	started time.Time
+
+	analyzeRequests atomic.Int64
+	ingestRequests  atomic.Int64
+	actionsIngested atomic.Int64
+	usersCreated    atomic.Int64
+	itemsCreated    atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	solves        atomic.Int64
+	solveErrors   atomic.Int64
+	solveTimeouts atomic.Int64
+	rejected      atomic.Int64
+
+	snapshots atomic.Int64
+
+	latency histogram
+}
+
+func newMetrics() *metrics {
+	m := &metrics{started: time.Now()}
+	m.latency.bounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	m.latency.counts = make([]atomic.Int64, len(m.latency.bounds)+1)
+	return m
+}
+
+// histogram is a fixed-bucket latency histogram in seconds, rendered in
+// Prometheus cumulative-bucket form.
+type histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// meanMillis returns the mean observed latency in milliseconds (0 when no
+// observations have been made).
+func (h *histogram) meanMillis() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n) / 1e6
+}
+
+// hitRate returns cache hits / (hits + misses), or 0 before any lookup.
+func (m *metrics) hitRate() float64 {
+	h, s := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+s == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s)
+}
+
+// render writes the Prometheus text exposition of every counter plus the
+// gauges passed in by the server (values that live outside metrics, such as
+// the current epoch and queue depth).
+func (m *metrics) render(gauges map[string]float64) string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tagdm_analyze_requests_total", "Analyze requests received.", m.analyzeRequests.Load())
+	counter("tagdm_ingest_requests_total", "Ingest requests received.", m.ingestRequests.Load())
+	counter("tagdm_actions_ingested_total", "Tagging actions inserted.", m.actionsIngested.Load())
+	counter("tagdm_users_created_total", "Users created through ingest.", m.usersCreated.Load())
+	counter("tagdm_items_created_total", "Items created through ingest.", m.itemsCreated.Load())
+	counter("tagdm_cache_hits_total", "Analyze results served from cache.", m.cacheHits.Load())
+	counter("tagdm_cache_misses_total", "Analyze cache misses.", m.cacheMisses.Load())
+	counter("tagdm_solves_total", "Solver executions.", m.solves.Load())
+	counter("tagdm_solve_errors_total", "Solver executions that errored.", m.solveErrors.Load())
+	counter("tagdm_solve_timeouts_total", "Analyze requests that timed out.", m.solveTimeouts.Load())
+	counter("tagdm_rejected_total", "Analyze requests rejected with a full queue.", m.rejected.Load())
+	counter("tagdm_snapshots_published_total", "Engine snapshots published.", m.snapshots.Load())
+	for _, g := range sortedGauges(gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.value)
+	}
+
+	name := "tagdm_solve_latency_seconds"
+	fmt.Fprintf(&b, "# HELP %s Solver latency.\n# TYPE %s histogram\n", name, name)
+	cum := int64(0)
+	for i, bound := range m.latency.bounds {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", bound), cum)
+	}
+	cum += m.latency.counts[len(m.latency.bounds)].Load()
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(&b, "%s_sum %g\n", name, float64(m.latency.sumNs.Load())/1e9)
+	fmt.Fprintf(&b, "%s_count %d\n", name, m.latency.count.Load())
+	return b.String()
+}
+
+type gauge struct {
+	name  string
+	value float64
+}
+
+func sortedGauges(gauges map[string]float64) []gauge {
+	out := make([]gauge, 0, len(gauges))
+	for name, v := range gauges {
+		out = append(out, gauge{name, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

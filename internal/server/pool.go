@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errBusy reports a solve queue at capacity; handlers map it to 429.
+var errBusy = errors.New("server: solve queue full")
+
+// errClosed reports a pool that has been shut down.
+var errClosed = errors.New("server: pool closed")
+
+// pool is a bounded worker pool for solver execution. Solves are CPU-bound
+// and super-linear in the group count, so running one per request goroutine
+// would let a traffic burst grind every request to a halt; a fixed worker
+// count plus a bounded queue gives the server a predictable concurrency
+// envelope and lets it shed load explicitly instead of collapsing.
+type pool struct {
+	queue   chan *poolJob
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	// mu makes do/close safe to race: close takes the write lock to flip
+	// closed before closing the queue, so no sender can hit a closed
+	// channel (senders hold the read lock).
+	mu     sync.RWMutex
+	closed bool
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func() (*analyzeResponse, error)
+	done chan poolResult
+}
+
+type poolResult struct {
+	val *analyzeResponse
+	err error
+}
+
+// newPool starts workers goroutines consuming a queue of at most depth
+// pending jobs.
+func newPool(workers, depth int) *pool {
+	p := &pool{queue: make(chan *poolJob, depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		if job.ctx.Err() != nil {
+			job.done <- poolResult{err: job.ctx.Err()}
+			continue
+		}
+		val, err := job.fn()
+		job.done <- poolResult{val: val, err: err}
+	}
+}
+
+// do runs fn on a worker and waits for the result or the context. A full
+// queue fails fast with errBusy. When the context expires first, do returns
+// its error immediately; the worker still finishes fn (solves are not
+// preemptible) but the result is dropped.
+func (p *pool) do(ctx context.Context, fn func() (*analyzeResponse, error)) (*analyzeResponse, error) {
+	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, errClosed
+	}
+	select {
+	case p.queue <- job:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return nil, errBusy
+	}
+	select {
+	case res := <-job.done:
+		return res.val, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// depth is the number of queued (not yet running) jobs.
+func (p *pool) depth() int { return len(p.queue) }
+
+// close stops the workers after draining queued jobs. Safe to call twice
+// and safe to race with do (late submissions get errClosed).
+func (p *pool) close() {
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		close(p.queue)
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+}

@@ -1,0 +1,631 @@
+// Package server exposes a TagDM analysis engine over a concurrent HTTP
+// JSON API: an analysis path (POST /v1/analyze) and a streaming ingest path
+// (POST /v1/actions) sharing one store without blocking each other — the
+// HTAP shape the roadmap's Polynesia line of work motivates.
+//
+// Concurrency model. The write side is a single-writer
+// incremental.Maintainer guarded by a mutex; the read side is an immutable
+// engine snapshot published through an atomic pointer. Ingest batches
+// mutate the maintainer and, per the refresh policy, publish a fresh
+// deep-copied snapshot (see incremental.Maintainer.Snapshot); analyses
+// always solve against whatever snapshot is current, so readers observe a
+// consistent engine and never block behind a refresh — at the price of
+// bounded staleness (at most Config.RefreshEvery unpublished inserts).
+//
+// Each published snapshot carries an epoch (the maintainer's insert
+// version). Analyze results are cached in an LRU keyed by
+// (normalized query, epoch): repeated dashboard queries are O(1) map hits,
+// and publishing a new epoch implicitly invalidates every older entry.
+// Solver work runs on a bounded worker pool with per-request timeouts, so
+// a burst of expensive analyses degrades into explicit 429s instead of
+// unbounded goroutine pileup.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagdm/internal/core"
+	"tagdm/internal/groups"
+	"tagdm/internal/incremental"
+	"tagdm/internal/model"
+	"tagdm/internal/query"
+	"tagdm/internal/signature"
+)
+
+// Config tunes a Server. The zero value of every field gets a sensible
+// default from withDefaults.
+type Config struct {
+	// Dataset is the initial corpus; it may be empty (schemas only) for a
+	// server populated exclusively through ingest. The server takes
+	// ownership: callers must not mutate it afterwards.
+	Dataset *model.Dataset
+	// MinGroupTuples drops groups smaller than this (default 5, as in the
+	// paper).
+	MinGroupTuples int
+	// Workers bounds concurrent solver executions (default 4).
+	Workers int
+	// QueueDepth bounds queued analyze requests beyond the running ones;
+	// excess requests get 429 (default 64).
+	QueueDepth int
+	// CacheSize is the analyze LRU capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// RefreshEvery publishes a fresh engine snapshot once this many inserts
+	// have accumulated (default 1: every ingest batch publishes). Larger
+	// values amortize the snapshot copy under heavy streams at the price of
+	// staleness.
+	RefreshEvery int
+	// SolveTimeout caps one analyze request end to end (default 30s).
+	SolveTimeout time.Duration
+	// Seed drives the LSH hyperplanes for reproducible answers.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinGroupTuples == 0 {
+		c.MinGroupTuples = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.RefreshEvery < 1 {
+		c.RefreshEvery = 1
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP analysis server. Create with New, serve with any
+// http.Server (it implements http.Handler), stop with Close.
+type Server struct {
+	cfg Config
+
+	// mu serializes the write side: the maintainer, the dataset tables it
+	// reads, and snapshot publication.
+	mu    sync.Mutex
+	ds    *model.Dataset
+	maint *incremental.Maintainer
+
+	// snap is the published read view; analyze handlers only ever touch
+	// this, never the maintainer.
+	snap atomic.Pointer[incremental.Snapshot]
+	// unpublished counts inserts since the last published snapshot
+	// (guarded by mu).
+	unpublished int
+
+	cache   *resultCache
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server over the dataset and publishes the initial snapshot
+// (epoch 0).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("server: Config.Dataset is required (may be empty, not nil)")
+	}
+	sum := signature.FrequencyOfSize(cfg.Dataset.Vocab.Size())
+	maint, err := incremental.New(cfg.Dataset, cfg.MinGroupTuples, sum)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ds:      cfg.Dataset,
+		maint:   maint,
+		cache:   newResultCache(cfg.CacheSize),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(),
+	}
+	if err := s.publishLocked(); err != nil {
+		s.pool.close()
+		return nil, err
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/actions", s.handleActions)
+	s.mux.HandleFunc("/v1/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool after draining queued solves.
+func (s *Server) Close() { s.pool.close() }
+
+// Epoch returns the epoch of the currently published snapshot.
+func (s *Server) Epoch() int64 { return s.snap.Load().Version }
+
+// publishLocked takes a fresh snapshot of the maintainer and swaps it in.
+// Callers hold s.mu (or are inside New, before the server is shared).
+func (s *Server) publishLocked() error {
+	snap, err := s.maint.Snapshot()
+	if err != nil {
+		return err
+	}
+	s.snap.Store(snap)
+	s.unpublished = 0
+	s.metrics.snapshots.Add(1)
+	return nil
+}
+
+// --- wire types ---
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Query is an ANALYZE statement, e.g.
+	// "ANALYZE PROBLEM 3 WHERE genre=drama WITH k=3, support=1%".
+	Query string `json:"query"`
+}
+
+// GroupResult is one returned group of an analyze response.
+type GroupResult struct {
+	// Description renders the group predicate, e.g. {gender=male, genre=action}.
+	Description string `json:"description"`
+	// Size is the group's tagging-action count.
+	Size int `json:"size"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Query string `json:"query"`
+	// Epoch is the engine snapshot the result was computed against.
+	Epoch int64 `json:"epoch"`
+	// Found is false for a null result (no feasible group set).
+	Found     bool          `json:"found"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	Objective float64       `json:"objective"`
+	Support   int           `json:"support"`
+	Groups    []GroupResult `json:"groups"`
+	// SolveMillis is the solver wall-clock; cached responses keep the
+	// original solve time.
+	SolveMillis float64 `json:"solve_millis"`
+	// Cached reports whether this response came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+type analyzeResponse = AnalyzeResponse
+
+// IngestAction is one element of an ingest batch. Either reference an
+// existing entity by id (user/item) or create one inline by supplying its
+// attribute map (user_attrs/item_attrs).
+type IngestAction struct {
+	User      *int32            `json:"user,omitempty"`
+	Item      *int32            `json:"item,omitempty"`
+	UserAttrs map[string]string `json:"user_attrs,omitempty"`
+	ItemAttrs map[string]string `json:"item_attrs,omitempty"`
+	Rating    float64           `json:"rating,omitempty"`
+	Tags      []string          `json:"tags"`
+}
+
+// IngestRequest is the body of POST /v1/actions.
+type IngestRequest struct {
+	Actions []IngestAction `json:"actions"`
+	// Refresh overrides the RefreshEvery policy for this batch: true forces
+	// snapshot publication, false suppresses it.
+	Refresh *bool `json:"refresh,omitempty"`
+}
+
+// IngestResponse is the body of a successful POST /v1/actions.
+type IngestResponse struct {
+	Inserted     int `json:"inserted"`
+	UsersCreated int `json:"users_created"`
+	ItemsCreated int `json:"items_created"`
+	// Epoch is the published snapshot epoch after this batch; stale until
+	// the next publish when Published is false.
+	Epoch     int64 `json:"epoch"`
+	Published bool  `json:"published"`
+	// Pending counts inserts not yet visible to analyses.
+	Pending int `json:"pending"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Epoch          int64   `json:"epoch"`
+	PendingInserts int     `json:"pending_inserts"`
+	Actions        int     `json:"actions"`
+	Groups         int     `json:"groups"`
+	Users          int     `json:"users"`
+	Items          int     `json:"items"`
+	VocabSize      int     `json:"vocab_size"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+
+	Cache struct {
+		Size      int     `json:"size"`
+		Capacity  int     `json:"capacity"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	Pool struct {
+		Workers    int `json:"workers"`
+		QueueDepth int `json:"queue_depth"`
+		Capacity   int `json:"queue_capacity"`
+	} `json:"pool"`
+
+	Solve struct {
+		Count      int64   `json:"count"`
+		Errors     int64   `json:"errors"`
+		Timeouts   int64   `json:"timeouts"`
+		Rejected   int64   `json:"rejected"`
+		MeanMillis float64 `json:"mean_millis"`
+	} `json:"solve"`
+
+	Ingest struct {
+		Requests  int64 `json:"requests"`
+		Actions   int64 `json:"actions"`
+		Snapshots int64 `json:"snapshots"`
+	} `json:"ingest"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.analyzeRequests.Add(1)
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	parsed, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	snap := s.snap.Load()
+	key := cacheKey{query: canonicalQuery(req.Query), epoch: snap.Version}
+	if cached, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := *cached
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	defer cancel()
+	resp, err := s.pool.do(ctx, func() (*analyzeResponse, error) {
+		return s.runAnalyze(snap, parsed, req.Query)
+	})
+	switch {
+	case errors.Is(err, errBusy):
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "solve queue full, retry later")
+		return
+	case errors.Is(err, errClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.solveTimeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "analysis timed out after %s", s.cfg.SolveTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is nobody to answer and nothing
+		// timed out, so don't count it against the timeout metric.
+		return
+	case err != nil:
+		s.metrics.solveErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.cache.put(key, resp)
+	writeJSON(w, http.StatusOK, *resp)
+}
+
+// runAnalyze executes a parsed query against a frozen snapshot. It runs on
+// a pool worker; everything it touches is either immutable (the snapshot)
+// or freshly built here, so concurrent executions never share mutable
+// state.
+func (s *Server) runAnalyze(snap *incremental.Snapshot, req *query.Request, raw string) (*analyzeResponse, error) {
+	start := time.Now()
+	eng := snap.Engine
+	n := snap.Store.Len()
+	if len(req.Where) > 0 {
+		scoped, scopedN, err := s.scopedEngine(snap, req.Where)
+		if err != nil {
+			return nil, err
+		}
+		eng, n = scoped, scopedN
+	}
+	spec, err := req.Resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	resp := &analyzeResponse{Query: strings.TrimSpace(raw), Epoch: snap.Version}
+	if len(eng.Groups) == 0 {
+		// An empty universe has no feasible set; short-circuit rather than
+		// exercising solver edge cases.
+		resp.Groups = []GroupResult{}
+		resp.SolveMillis = float64(time.Since(start)) / 1e6
+		return resp, nil
+	}
+	res, err := eng.Solve(spec, core.SolveOptions{
+		LSH: core.LSHOptions{Seed: s.cfg.Seed, Mode: core.Fold},
+		FDP: core.FDPOptions{Mode: core.Fold},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.solves.Add(1)
+	s.metrics.latency.observe(time.Since(start))
+	resp.Found = res.Found
+	resp.Algorithm = res.Algorithm
+	resp.Objective = res.Objective
+	resp.Support = res.Support
+	resp.Groups = make([]GroupResult, len(res.Groups))
+	for i, g := range res.Groups {
+		resp.Groups[i] = GroupResult{Description: g.Describe(snap.Store), Size: g.Size()}
+	}
+	resp.SolveMillis = float64(time.Since(start)) / 1e6
+	return resp, nil
+}
+
+// scopedEngine builds a throwaway engine over the subset of the snapshot
+// matching a WHERE filter, mirroring how Options.Within scopes a batch
+// Analysis: re-enumerate describable groups inside the scope and summarize
+// them with frequency signatures. The snapshot store is frozen, so this is
+// safe against concurrent ingest; results are cached like any other query.
+func (s *Server) scopedEngine(snap *incremental.Snapshot, where map[string]string) (*core.Engine, int, error) {
+	pred, err := snap.Store.ParsePredicate(where)
+	if err != nil {
+		return nil, 0, err
+	}
+	bm := snap.Store.Eval(pred)
+	if bm.Count() == 0 {
+		return nil, 0, fmt.Errorf("server: filter %v matches no tagging actions", where)
+	}
+	gs := (&groups.Enumerator{Store: snap.Store, MinTuples: s.cfg.MinGroupTuples, Within: bm}).FullyDescribed()
+	if len(gs) == 0 {
+		return nil, 0, fmt.Errorf("server: no describable groups with >= %d tagging actions under filter %v",
+			s.cfg.MinGroupTuples, where)
+	}
+	// Size signatures by the snapshot's frozen vocabulary, not the live
+	// (possibly grown) one, so equal epochs keep producing equal answers.
+	sum := signature.FrequencyOfSize(snap.VocabSize)
+	sigs := signature.SummarizeAll(sum, snap.Store, gs)
+	eng, err := core.NewEngine(snap.Store, gs, sigs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, bm.Count(), nil
+}
+
+// handleActions is the streaming ingest path. Batches apply under the
+// writer lock while analyses keep reading the published snapshot.
+//
+// Note the vocabulary-growth caveat documented on tagdm.Maintainer.Insert:
+// frequency signatures fold brand-new tags into the signature space only up
+// to the vocabulary size at server construction, so pre-register the
+// expected vocabulary in the initial dataset when new tags must influence
+// tag-dimension measures.
+func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.ingestRequests.Add(1)
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Actions) == 0 {
+		writeError(w, http.StatusBadRequest, "actions is required and must be non-empty")
+		return
+	}
+
+	s.mu.Lock()
+	var resp IngestResponse
+	for i, a := range req.Actions {
+		user, err := s.resolveEntityLocked(a.User, a.UserAttrs, true)
+		if err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
+			return
+		}
+		item, err := s.resolveEntityLocked(a.Item, a.ItemAttrs, false)
+		if err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
+			return
+		}
+		ids := make([]model.TagID, len(a.Tags))
+		for j, t := range a.Tags {
+			ids[j] = s.ds.Vocab.ID(t)
+		}
+		if err := s.maint.Insert(model.TaggingAction{User: user, Item: item, Rating: a.Rating, Tags: ids}); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
+			return
+		}
+		// Count the insert immediately — in the refresh accounting and the
+		// metrics — so a failure later in the batch leaves both consistent
+		// with what was actually applied.
+		s.unpublished++
+		resp.Inserted++
+		s.metrics.actionsIngested.Add(1)
+		if a.UserAttrs != nil {
+			resp.UsersCreated++
+			s.metrics.usersCreated.Add(1)
+		}
+		if a.ItemAttrs != nil {
+			resp.ItemsCreated++
+			s.metrics.itemsCreated.Add(1)
+		}
+	}
+	publish := s.unpublished >= s.cfg.RefreshEvery
+	if req.Refresh != nil {
+		publish = *req.Refresh
+	}
+	if publish {
+		if err := s.publishLocked(); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
+			return
+		}
+		resp.Published = true
+	}
+	resp.Pending = s.unpublished
+	s.mu.Unlock()
+
+	resp.Epoch = s.snap.Load().Version
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveEntityLocked maps an (id, attrs) pair to an entity id, creating
+// the entity when attrs are given. Exactly one of the two must be set.
+func (s *Server) resolveEntityLocked(id *int32, attrs map[string]string, isUser bool) (int32, error) {
+	kind := "item"
+	if isUser {
+		kind = "user"
+	}
+	switch {
+	case id != nil && attrs != nil:
+		return 0, fmt.Errorf("set %s or %s_attrs, not both", kind, kind)
+	case attrs != nil:
+		if isUser {
+			return s.ds.AddUser(attrs)
+		}
+		return s.ds.AddItem(attrs)
+	case id != nil:
+		return *id, nil
+	default:
+		return 0, fmt.Errorf("%s or %s_attrs is required", kind, kind)
+	}
+}
+
+// handleRefresh forces snapshot publication, for operators who suppressed
+// per-batch refresh and want a visibility barrier.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.mu.Lock()
+	err := s.publishLocked()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
+		return
+	}
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Version, "groups": len(snap.Groups)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := s.snap.Load()
+	s.mu.Lock()
+	pending := s.unpublished
+	users, items := len(s.ds.Users), len(s.ds.Items)
+	s.mu.Unlock()
+
+	var resp StatsResponse
+	resp.Epoch = snap.Version
+	resp.PendingInserts = pending
+	resp.Actions = snap.Store.Len()
+	resp.Groups = len(snap.Groups)
+	resp.Users = users
+	resp.Items = items
+	resp.VocabSize = snap.Store.Vocab.Size()
+	resp.UptimeSeconds = time.Since(s.metrics.started).Seconds()
+	size, evictions := s.cache.stats()
+	resp.Cache.Size = size
+	resp.Cache.Capacity = s.cfg.CacheSize
+	resp.Cache.Hits = s.metrics.cacheHits.Load()
+	resp.Cache.Misses = s.metrics.cacheMisses.Load()
+	resp.Cache.Evictions = evictions
+	resp.Cache.HitRate = s.metrics.hitRate()
+	resp.Pool.Workers = s.cfg.Workers
+	resp.Pool.QueueDepth = s.pool.depth()
+	resp.Pool.Capacity = s.cfg.QueueDepth
+	resp.Solve.Count = s.metrics.solves.Load()
+	resp.Solve.Errors = s.metrics.solveErrors.Load()
+	resp.Solve.Timeouts = s.metrics.solveTimeouts.Load()
+	resp.Solve.Rejected = s.metrics.rejected.Load()
+	resp.Solve.MeanMillis = s.metrics.latency.meanMillis()
+	resp.Ingest.Requests = s.metrics.ingestRequests.Load()
+	resp.Ingest.Actions = s.metrics.actionsIngested.Load()
+	resp.Ingest.Snapshots = s.metrics.snapshots.Load()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := s.snap.Load()
+	size, _ := s.cache.stats()
+	gauges := map[string]float64{
+		"tagdm_snapshot_epoch": float64(snap.Version),
+		"tagdm_store_actions":  float64(snap.Store.Len()),
+		"tagdm_groups":         float64(len(snap.Groups)),
+		"tagdm_cache_size":     float64(size),
+		"tagdm_queue_depth":    float64(s.pool.depth()),
+		"tagdm_uptime_seconds": time.Since(s.metrics.started).Seconds(),
+		"tagdm_vocab_size":     float64(snap.Store.Vocab.Size()),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(s.metrics.render(gauges)))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

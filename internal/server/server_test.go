@@ -1,0 +1,529 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tagdm/internal/model"
+)
+
+// testDataset builds a small gender x genre corpus where every (gender,
+// genre) combination is an active group: 3 actions per combination at
+// threshold 2.
+func testDataset(t testing.TB) *model.Dataset {
+	t.Helper()
+	d := model.NewDataset(model.NewSchema("gender"), model.NewSchema("genre"))
+	must := func(id int32, err error) int32 {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	m := must(d.AddUser(map[string]string{"gender": "male"}))
+	f := must(d.AddUser(map[string]string{"gender": "female"}))
+	action := must(d.AddItem(map[string]string{"genre": "action"}))
+	drama := must(d.AddItem(map[string]string{"genre": "drama"}))
+	tags := map[[2]int32][]string{
+		{m, action}: {"gun", "explosion", "gun"},
+		{f, action}: {"stunt", "gun", "chase"},
+		{m, drama}:  {"tears", "slow", "acting"},
+		{f, drama}:  {"acting", "tears", "romance"},
+	}
+	for pair, ts := range tags {
+		for _, tag := range ts {
+			if err := d.AddAction(pair[0], pair[1], 3, tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func newTestServer(t testing.TB, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Dataset: testDataset(t), MinGroupTuples: 2, Seed: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postJSON(t testing.TB, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func analyze(t testing.TB, ts *httptest.Server, query string) (int, AnalyzeResponse) {
+	t.Helper()
+	resp, body := postJSON(t, ts, "/v1/analyze", AnalyzeRequest{Query: query})
+	var out AnalyzeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("decoding %s: %v", body, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func getStats(t testing.TB, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const testQuery = "ANALYZE PROBLEM 3 WITH k=2, support=2, q=0.1, r=0.1"
+
+func TestAnalyzeEndToEndWithCache(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	status, first := analyze(t, ts, testQuery)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !first.Found {
+		t.Fatal("expected a feasible group set")
+	}
+	if first.Cached {
+		t.Fatal("first answer claims to be cached")
+	}
+	if len(first.Groups) == 0 || first.Groups[0].Description == "" {
+		t.Fatalf("groups = %+v", first.Groups)
+	}
+
+	// The identical query (modulo whitespace) must come from the cache.
+	status, second := analyze(t, ts, "ANALYZE  PROBLEM 3\n WITH k=2, support=2, q=0.1, r=0.1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !second.Cached {
+		t.Fatal("repeat answer not served from cache")
+	}
+	if second.Epoch != first.Epoch || second.Objective != first.Objective {
+		t.Fatalf("cached answer differs: %+v vs %+v", second, first)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	if stats.Solve.Count != 1 {
+		t.Fatalf("solves = %d, want 1", stats.Solve.Count)
+	}
+}
+
+func TestAnalyzeScopedWhere(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	status, resp := analyze(t, ts, "ANALYZE PROBLEM 3 WHERE genre=action WITH k=2, support=2, q=0.1, r=0.1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !resp.Found {
+		t.Fatal("expected a feasible set inside the scope")
+	}
+	for _, g := range resp.Groups {
+		if !strings.Contains(g.Description, "genre=action") {
+			t.Fatalf("group %q escaped the WHERE scope", g.Description)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Empty and unparsable queries.
+	for _, q := range []string{"", "   ", "ANALYZE NONSENSE", "SELECT * FROM tags"} {
+		if status, _ := analyze(t, ts, q); status != http.StatusBadRequest {
+			t.Fatalf("query %q: status = %d, want 400", q, status)
+		}
+	}
+
+	// Parsable but unresolvable: unknown attribute and empty scope.
+	if status, _ := analyze(t, ts, "ANALYZE PROBLEM 1 WHERE nosuch=thing"); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown attribute: status != 422")
+	}
+	if status, _ := analyze(t, ts, "ANALYZE PROBLEM 1 WHERE genre=western"); status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty scope: status != 422")
+	}
+
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestIngestInvalidatesCacheAcrossEpochs(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	_, cold := analyze(t, ts, testQuery)
+	_, warm := analyze(t, ts, testQuery)
+	if !warm.Cached {
+		t.Fatal("second query should hit the cache")
+	}
+
+	// Ingest two more male-action tuples; the default policy publishes a
+	// snapshot per batch.
+	user, item := int32(0), int32(0)
+	resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &user, Item: &item, Rating: 4, Tags: []string{"gun"}},
+		{User: &user, Item: &item, Rating: 5, Tags: []string{"explosion"}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status = %d: %s", resp.StatusCode, body)
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Inserted != 2 || !ing.Published {
+		t.Fatalf("ingest response = %+v", ing)
+	}
+	if ing.Epoch <= cold.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", cold.Epoch, ing.Epoch)
+	}
+
+	// The same query must now re-solve against the new epoch and see the
+	// grown corpus.
+	_, after := analyze(t, ts, testQuery)
+	if after.Cached {
+		t.Fatal("query after ingest served stale cache entry")
+	}
+	if after.Epoch != ing.Epoch {
+		t.Fatalf("analyze epoch = %d, want %d", after.Epoch, ing.Epoch)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Actions != 14 {
+		t.Fatalf("actions = %d, want 14", stats.Actions)
+	}
+	if stats.PendingInserts != 0 {
+		t.Fatalf("pending = %d, want 0", stats.PendingInserts)
+	}
+}
+
+func TestIngestCreatesEntities(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{
+			UserAttrs: map[string]string{"gender": "nonbinary"},
+			ItemAttrs: map[string]string{"genre": "documentary"},
+			Tags:      []string{"archival"},
+		},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.UsersCreated != 1 || ing.ItemsCreated != 1 || ing.Inserted != 1 {
+		t.Fatalf("ingest response = %+v", ing)
+	}
+	stats := getStats(t, ts)
+	if stats.Users != 3 || stats.Items != 3 {
+		t.Fatalf("users/items = %d/%d, want 3/3", stats.Users, stats.Items)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	// Empty batch.
+	resp, _ := postJSON(t, ts, "/v1/actions", IngestRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown user id.
+	user, item := int32(99), int32(0)
+	resp, _ = postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &user, Item: &item, Tags: []string{"x"}},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown user: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Both id and attrs.
+	resp, _ = postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &item, UserAttrs: map[string]string{"gender": "male"}, Item: &item, Tags: []string{"x"}},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous entity: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Neither id nor attrs.
+	resp, _ = postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{Item: &item, Tags: []string{"x"}},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing entity: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRefreshPolicyAndForcedRefresh(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, func(c *Config) { c.RefreshEvery = 10 }))
+	defer ts.Close()
+
+	before := getStats(t, ts)
+	user, item := int32(0), int32(1)
+	resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &user, Item: &item, Tags: []string{"slow"}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+	}
+	var ing IngestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Published || ing.Pending != 1 {
+		t.Fatalf("batch below RefreshEvery published a snapshot: %+v", ing)
+	}
+	if epoch := getStats(t, ts).Epoch; epoch != before.Epoch {
+		t.Fatalf("epoch moved without a publish: %d -> %d", before.Epoch, epoch)
+	}
+
+	// A forced refresh publishes the pending insert.
+	resp, body = postJSON(t, ts, "/v1/refresh", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh: %d: %s", resp.StatusCode, body)
+	}
+	after := getStats(t, ts)
+	if after.Epoch <= before.Epoch || after.PendingInserts != 0 {
+		t.Fatalf("refresh did not publish: %+v", after)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, func(c *Config) { c.CacheSize = 2 }))
+	defer ts.Close()
+
+	for _, q := range []string{
+		"ANALYZE PROBLEM 1 WITH k=2, support=2, q=0.1, r=0.1",
+		"ANALYZE PROBLEM 2 WITH k=2, support=2, q=0.1, r=0.1",
+		"ANALYZE PROBLEM 3 WITH k=2, support=2, q=0.1, r=0.1",
+	} {
+		if status, _ := analyze(t, ts, q); status != http.StatusOK {
+			t.Fatalf("query %q: status = %d", q, status)
+		}
+	}
+	stats := getStats(t, ts)
+	if stats.Cache.Size != 2 {
+		t.Fatalf("cache size = %d, want 2", stats.Cache.Size)
+	}
+	if stats.Cache.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", stats.Cache.Evictions)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	analyze(t, ts, testQuery)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"tagdm_analyze_requests_total 1",
+		"tagdm_cache_misses_total 1",
+		"tagdm_solves_total 1",
+		"tagdm_snapshot_epoch 0",
+		"tagdm_solve_latency_seconds_count 1",
+		"tagdm_groups 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentIngestAndAnalyze interleaves streaming ingest with analyze
+// and stats traffic; run with -race to verify the epoch/snapshot scheme
+// actually isolates readers from the writer.
+func TestConcurrentIngestAndAnalyze(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, func(c *Config) { c.Workers = 4 }))
+	defer ts.Close()
+
+	const (
+		writers = 2
+		readers = 4
+		rounds  = 15
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers+1)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				user, item := int32(i%2), int32((i+w)%2)
+				resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+					{User: &user, Item: &item, Rating: 3, Tags: []string{fmt.Sprintf("tag-%d-%d", w, i)}},
+				}})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	queries := []string{
+		testQuery,
+		"ANALYZE PROBLEM 1 WITH k=2, support=2, q=0.1, r=0.1",
+		"ANALYZE MAXIMIZE diversity(tags) SUBJECT TO similarity(items) >= 0.1 WITH k=2",
+		"ANALYZE PROBLEM 3 WHERE genre=action WITH k=2, support=2, q=0.1, r=0.1",
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				status, _ := analyze(t, ts, queries[(r+i)%len(queries)])
+				if status != http.StatusOK && status != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("reader %d: status %d", r, status)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			getStats(t, ts)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Flush pending inserts, then the totals must line up exactly.
+	postJSON(t, ts, "/v1/refresh", struct{}{})
+	stats := getStats(t, ts)
+	if want := 12 + writers*rounds; stats.Actions != want {
+		t.Fatalf("actions = %d, want %d", stats.Actions, want)
+	}
+}
+
+func TestCanonicalQueryPreservesQuotedWhitespace(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ANALYZE  PROBLEM 1\n WITH k=2", "ANALYZE PROBLEM 1 WITH k=2"},
+		{"  ANALYZE PROBLEM 1  ", "ANALYZE PROBLEM 1"},
+		{"ANALYZE PROBLEM 1 WHERE state='new  york'", "ANALYZE PROBLEM 1 WHERE state='new  york'"},
+		{"ANALYZE PROBLEM 1  WHERE  state='new york'", "ANALYZE PROBLEM 1 WHERE state='new york'"},
+	}
+	for _, c := range cases {
+		if got := canonicalQuery(c.in); got != c.want {
+			t.Errorf("canonicalQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Queries differing only inside quotes must NOT share a cache key.
+	a := canonicalQuery("ANALYZE PROBLEM 1 WHERE state='new  york'")
+	b := canonicalQuery("ANALYZE PROBLEM 1 WHERE state='new york'")
+	if a == b {
+		t.Fatalf("distinct quoted values conflated: %q", a)
+	}
+}
+
+func TestConfigClampsNonsenseValues(t *testing.T) {
+	// Negative pool/queue/timeout values must fall back to defaults
+	// instead of panicking at startup.
+	s, err := New(Config{Dataset: testDataset(t), MinGroupTuples: 2, Workers: -1, QueueDepth: -1, SolveTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.cfg.Workers != 4 || s.cfg.QueueDepth != 64 {
+		t.Fatalf("clamped config = %+v", s.cfg)
+	}
+}
+
+func TestPartialBatchFailureKeepsAccounting(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, func(c *Config) { c.RefreshEvery = 10 }))
+	defer ts.Close()
+
+	// Second action fails: the first must still be counted in pending
+	// inserts and ingest metrics.
+	good, bad, item := int32(0), int32(99), int32(0)
+	resp, _ := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &good, Item: &item, Tags: []string{"x"}},
+		{User: &bad, Item: &item, Tags: []string{"y"}},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	stats := getStats(t, ts)
+	if stats.PendingInserts != 1 {
+		t.Fatalf("pending = %d, want 1 (applied prefix of failed batch)", stats.PendingInserts)
+	}
+	if stats.Ingest.Actions != 1 {
+		t.Fatalf("ingested metric = %d, want 1", stats.Ingest.Actions)
+	}
+}

@@ -58,6 +58,13 @@ func NewFrequency(s *store.Store) *Frequency {
 	return &Frequency{vocabSize: s.Vocab.Size()}
 }
 
+// FrequencyOfSize returns a frequency summarizer over a fixed vocabulary
+// size, for callers that have a vocabulary but no store yet (building a
+// store just to read its vocabulary size doubles O(dataset) setup work).
+func FrequencyOfSize(vocabSize int) *Frequency {
+	return &Frequency{vocabSize: vocabSize}
+}
+
 // Summarize implements Summarizer.
 func (f *Frequency) Summarize(s *store.Store, g *groups.Group) Signature {
 	w := make([]float64, f.vocabSize)

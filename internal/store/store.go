@@ -129,6 +129,39 @@ func (s *Store) Append(d *model.Dataset, a model.TaggingAction) error {
 	return nil
 }
 
+// Clone returns a deep copy of the store that later Appends to s cannot
+// touch: column vectors, per-tuple payloads and posting bitmaps are all
+// copied. Schemas and the vocabulary are shared — they are append-only
+// dictionaries and safe for concurrent use — and the per-tuple tag slices
+// are shared because they are immutable once appended. Clone is what makes
+// snapshot-isolated readers possible while a Maintainer keeps inserting
+// (see internal/incremental.Maintainer.Snapshot).
+func (s *Store) Clone() *Store {
+	out := &Store{
+		UserSchema: s.UserSchema,
+		ItemSchema: s.ItemSchema,
+		Vocab:      s.Vocab,
+		userCols:   make([][]model.ValueCode, len(s.userCols)),
+		itemCols:   make([][]model.ValueCode, len(s.itemCols)),
+		users:      append([]int32(nil), s.users...),
+		items:      append([]int32(nil), s.items...),
+		tags:       append([][]model.TagID(nil), s.tags...),
+		ratings:    append([]float64(nil), s.ratings...),
+		postings:   make(map[postingKey]*Bitmap, len(s.postings)),
+		n:          s.n,
+	}
+	for ci, col := range s.userCols {
+		out.userCols[ci] = append([]model.ValueCode(nil), col...)
+	}
+	for ci, col := range s.itemCols {
+		out.itemCols[ci] = append([]model.ValueCode(nil), col...)
+	}
+	for k, bm := range s.postings {
+		out.postings[k] = bm.Clone()
+	}
+	return out
+}
+
 // Len is the number of expanded tuples.
 func (s *Store) Len() int { return s.n }
 

@@ -301,3 +301,36 @@ func TestQuickEvalMatchesScan(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreCloneIsolation(t *testing.T) {
+	d, s := buildTestStore(t)
+	clone := s.Clone()
+	if clone.Len() != s.Len() {
+		t.Fatalf("clone Len = %d, want %d", clone.Len(), s.Len())
+	}
+	pred, err := clone.ParsePredicate(map[string]string{"genre": "action"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clone.Count(pred)
+
+	// Appends to the original must not leak into the clone: not the tuple
+	// count, not the posting lists, not the column vectors.
+	for i := 0; i < 3; i++ {
+		if err := s.Append(d, model.TaggingAction{User: 0, Item: 0, Tags: []model.TagID{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clone.Len() != 6 {
+		t.Fatalf("clone grew with the original: Len = %d", clone.Len())
+	}
+	if got := clone.Count(pred); got != before {
+		t.Fatalf("clone postings changed: %d -> %d", before, got)
+	}
+	if s.Count(pred) == before {
+		t.Fatal("original postings did not grow")
+	}
+	if got := clone.Value(0, Column{SideUser, 0}); got != s.Value(0, Column{SideUser, 0}) {
+		t.Fatal("clone column data differs from original prefix")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"tagdm/internal/core"
 	"tagdm/internal/incremental"
 	"tagdm/internal/signature"
-	"tagdm/internal/store"
 )
 
 // Maintainer keeps a TagDM analysis current under a stream of new tagging
@@ -38,11 +37,7 @@ func NewMaintainer(ds *Dataset, opts Options) (*Maintainer, error) {
 		if opts.Signatures != SignatureFrequency {
 			return nil, fmt.Errorf("tagdm: maintained analyses need SignatureFrequency or a CustomSummarizer")
 		}
-		s, err := store.New(ds)
-		if err != nil {
-			return nil, err
-		}
-		sum = signature.NewFrequency(s)
+		sum = signature.FrequencyOfSize(ds.Vocab.Size())
 	}
 	inner, err := incremental.New(ds, opts.MinGroupTuples, sum)
 	if err != nil {
@@ -54,11 +49,13 @@ func NewMaintainer(ds *Dataset, opts Options) (*Maintainer, error) {
 // Insert adds one tagging action. The user and item must already exist in
 // the dataset; tags are interned into the vocabulary automatically.
 //
-// Note: frequency signatures index dimensions by tag id, so tags first
-// seen after construction fold into the signature space only up to the
-// initial vocabulary size; register the expected vocabulary up front (or
-// use a CustomSummarizer with a stable space, such as a CategoryMapper)
-// when brand-new tags matter.
+// Vocabulary-growth caveat: frequency signatures index dimensions by tag
+// id, so tags first seen after construction fold into the signature space
+// only up to the initial vocabulary size; register the expected vocabulary
+// up front (or use a CustomSummarizer with a stable space, such as a
+// CategoryMapper) when brand-new tags matter. The same caveat applies to
+// the streaming ingest endpoint of internal/server, whose engine is backed
+// by a Maintainer exactly like this one.
 func (m *Maintainer) Insert(user, item int32, rating float64, tags ...string) error {
 	ids := make([]TagID, len(tags))
 	for i, t := range tags {
@@ -66,6 +63,12 @@ func (m *Maintainer) Insert(user, item int32, rating float64, tags ...string) er
 	}
 	return m.inner.Insert(TaggingAction{User: user, Item: item, Rating: rating, Tags: ids})
 }
+
+// Epoch is a monotonic counter bumped on every Insert. Two equal epochs
+// observe identical contents, which makes it the natural key for caching
+// query results computed against a maintained analysis (the server's
+// result cache keys on it).
+func (m *Maintainer) Epoch() int64 { return m.inner.Version() }
 
 // NumGroups is the current count of above-threshold groups.
 func (m *Maintainer) NumGroups() int { return len(m.inner.ActiveGroups()) }

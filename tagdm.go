@@ -25,9 +25,8 @@
 package tagdm
 
 import (
-	"io"
-
 	"fmt"
+	"io"
 
 	"tagdm/internal/core"
 	"tagdm/internal/datagen"
