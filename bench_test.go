@@ -22,9 +22,11 @@ import (
 	"tagdm/internal/experiments"
 	"tagdm/internal/fdp"
 
+	"tagdm/internal/groups"
 	"tagdm/internal/incremental"
 	"tagdm/internal/lda"
 	"tagdm/internal/lsh"
+	"tagdm/internal/mining"
 	"tagdm/internal/model"
 	"tagdm/internal/query"
 	"tagdm/internal/signature"
@@ -497,6 +499,115 @@ func BenchmarkIncrementalRefresh(b *testing.B) {
 		if _, err := m.Refresh(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Pair-matrix scoring layer: naive vs matrix vs incremental ---
+
+// benchObjectiveSpec is a fixed problem-1 spec and a fixed candidate set
+// over the Exact engine, shared by the objective-evaluation benchmarks.
+func benchObjectiveWorld(b *testing.B) (*core.Engine, core.ProblemSpec, []*groups.Group, []int) {
+	b.Helper()
+	st, ex := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	ids := []int{1, 5, 9}
+	set := make([]*groups.Group, len(ids))
+	for i, id := range ids {
+		set[i] = ex.Groups[id]
+	}
+	ex.PrewarmMatrices(spec)
+	return ex, spec, set, ids
+}
+
+// BenchmarkObjectiveEvalNaive is the pre-matrix path: every call re-runs
+// the pair functions over all pairs and allocates a scores slice.
+func BenchmarkObjectiveEvalNaive(b *testing.B) {
+	ex, spec, set, _ := benchObjectiveWorld(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.ObjectiveScore(set, spec)
+	}
+}
+
+// BenchmarkObjectiveEvalMatrix reads precomputed pair values: no pair
+// function calls, no allocation.
+func BenchmarkObjectiveEvalMatrix(b *testing.B) {
+	ex, _, _, ids := benchObjectiveWorld(b)
+	f := mining.Func{Agg: mining.Mean}
+	m := ex.PairMatrix(mining.Tags, mining.Similarity)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.EvalMatrix(m, ids)
+	}
+}
+
+// BenchmarkObjectiveEvalIncremental is the Exact hot loop's shape: extend
+// a 2-set by one group (O(k) lookups), read the mean, backtrack.
+func BenchmarkObjectiveEvalIncremental(b *testing.B) {
+	ex, _, _, ids := benchObjectiveWorld(b)
+	m := ex.PairMatrix(mining.Tags, mining.Similarity)
+	inc := mining.NewIncrementalEval(m, len(ids))
+	inc.Push(ids[0])
+	inc.Push(ids[1])
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inc.Push(ids[2])
+		_ = inc.Mean()
+		inc.Pop()
+	}
+}
+
+// --- Support kernels: Clone+Or vs allocation-free union ---
+
+func benchSupportSets(b *testing.B) [][]*store.Bitmap {
+	b.Helper()
+	_, ex := benchWorld(b)
+	sets := make([][]*store.Bitmap, 0, 32)
+	for i := 0; i+3 <= len(ex.Groups); i += 3 {
+		sets = append(sets, []*store.Bitmap{
+			ex.Groups[i].Tuples, ex.Groups[i+1].Tuples, ex.Groups[i+2].Tuples,
+		})
+		if len(sets) == 32 {
+			break
+		}
+	}
+	return sets
+}
+
+// BenchmarkSupportClone is the pre-kernel path: Clone the first bitmap,
+// Or the rest in, Count.
+func BenchmarkSupportClone(b *testing.B) {
+	sets := benchSupportSets(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maps := sets[i%len(sets)]
+		u := maps[0].Clone()
+		for _, m := range maps[1:] {
+			u.Or(m)
+		}
+		_ = u.Count()
+	}
+}
+
+// BenchmarkSupportUnionInto accumulates into one reusable buffer with
+// counts folded into the union pass.
+func BenchmarkSupportUnionInto(b *testing.B) {
+	st, _ := benchWorld(b)
+	sets := benchSupportSets(b)
+	scratch := store.NewBitmap(st.Store.Len())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maps := sets[i%len(sets)]
+		count := maps[0].UnionCountInto(maps[1], scratch)
+		for _, m := range maps[2:] {
+			count = scratch.UnionCountInto(m, scratch)
+		}
+		_ = count
 	}
 }
 

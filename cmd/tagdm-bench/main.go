@@ -6,23 +6,113 @@
 // Usage:
 //
 //	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
+//	            [-json]
 //
 // With -all (the default when no selector is given) every artifact is
 // produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
 // and quality); likewise 5 covers 6, and 7 covers 8.
+//
+// With -json, the timed artifacts (figures 3/5/7, ablations, the k sweep)
+// are emitted as one JSON object per line on stdout instead of rendered
+// tables, for appending to a BENCH_*.json performance trajectory:
+//
+//	{"bench":"fig3","scale":"fast","problem":"Problem 1","algorithm":"Exact",
+//	 "millis":2.1,"quality":0.83,"found":true}
+//
+// Untimed artifacts (tag clouds, the user study, tables) keep their text
+// form and are skipped under -json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"tagdm/internal/core"
 	"tagdm/internal/datagen"
 	"tagdm/internal/experiments"
 	"tagdm/internal/userstudy"
 )
+
+// benchRecord is one JSON-lines measurement; zero-valued selector fields
+// are omitted so each bench kind carries only its own axes.
+type benchRecord struct {
+	Bench     string  `json:"bench"`
+	Scale     string  `json:"scale"`
+	Problem   string  `json:"problem,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Sweep     string  `json:"sweep,omitempty"`
+	Variant   string  `json:"variant,omitempty"`
+	Tuples    int     `json:"tuples,omitempty"`
+	NumGroups int     `json:"groups,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Millis    float64 `json:"millis"`
+	// Quality is present where the underlying run has a quality axis —
+	// pointers, not omitempty, so a measured 0.0 still appears.
+	Quality *float64 `json:"quality,omitempty"`
+	// Candidates is the Exact enumeration size (k-sweep records only).
+	Candidates int64 `json:"candidates,omitempty"`
+	// Found is present where the underlying run tracks feasibility
+	// (figures and ablations); k-sweep rows measure time only.
+	Found *bool `json:"found,omitempty"`
+}
+
+func millis(d time.Duration) float64 { return float64(d) / 1e6 }
+
+type jsonEmitter struct {
+	enc   *json.Encoder
+	scale string
+}
+
+func newJSONEmitter(scale string) *jsonEmitter {
+	return &jsonEmitter{enc: json.NewEncoder(os.Stdout), scale: scale}
+}
+
+func (e *jsonEmitter) record(r benchRecord) {
+	r.Scale = e.scale
+	if err := e.enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func (e *jsonEmitter) table(bench string, t experiments.Table) {
+	for _, r := range t.Rows {
+		found, quality := r.Found, r.Quality
+		e.record(benchRecord{Bench: bench, Problem: r.Problem, Algorithm: r.Algorithm,
+			Millis: millis(r.Elapsed), Quality: &quality, Found: &found})
+	}
+}
+
+func (e *jsonEmitter) binTable(bench string, t experiments.BinTable) {
+	for _, r := range t.Rows {
+		found, quality := r.Found, r.Quality
+		e.record(benchRecord{Bench: bench, Problem: r.Problem, Algorithm: r.Algorithm,
+			Tuples: r.Tuples, NumGroups: r.NumGroups,
+			Millis: millis(r.Elapsed), Quality: &quality, Found: &found})
+	}
+}
+
+func (e *jsonEmitter) ablationTable(t experiments.AblationTable) {
+	for _, r := range t.Rows {
+		found, quality := r.Found, r.Quality
+		e.record(benchRecord{Bench: "ablation", Sweep: r.Sweep, Variant: r.Variant,
+			Millis: millis(r.Elapsed), Quality: &quality, Found: &found})
+	}
+}
+
+func (e *jsonEmitter) ksweepTable(t experiments.KSweepTable) {
+	for _, r := range t.Rows {
+		e.record(benchRecord{Bench: "ksweep", Algorithm: "Exact", K: r.K,
+			Candidates: r.Candidates, Millis: millis(r.Exact)})
+		e.record(benchRecord{Bench: "ksweep", Algorithm: "Exact-parallel", K: r.K,
+			Candidates: r.Candidates, Millis: millis(r.ExactPar)})
+		e.record(benchRecord{Bench: "ksweep", Algorithm: r.ApproxAlgo, K: r.K,
+			Millis: millis(r.Approx)})
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,6 +124,7 @@ func main() {
 	transfer := flag.Bool("transfer", false, "run the attribute-transfer experiment")
 	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
 	all := flag.Bool("all", false, "regenerate everything")
+	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
 	flag.Parse()
 
 	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep {
@@ -50,11 +141,22 @@ func main() {
 		log.Fatalf("unknown scale %q (want fast or paper)", *scale)
 	}
 
-	if *table == 1 || *all {
-		printTable1()
+	var emit *jsonEmitter
+	if *asJSON {
+		emit = newJSONEmitter(*scale)
 	}
-	if *table == 2 || *all {
-		printTable2()
+
+	if emit == nil {
+		if *table == 1 || *all {
+			printTable1()
+		}
+		if *table == 2 || *all {
+			printTable2()
+		}
+	} else if *table != 0 || *fig == 1 || *fig == 9 || *transfer {
+		// Untimed artifacts have no JSON form; say so instead of exiting
+		// zero with empty output.
+		fmt.Fprintln(os.Stderr, "tagdm-bench: tables, figures 1/9 and -transfer are text-only and skipped under -json")
 	}
 	if *table != 0 && !*all && *fig == 0 {
 		return
@@ -74,7 +176,7 @@ func main() {
 	}
 	p := experiments.PaperParams()
 
-	if *all || *fig == 1 {
+	if (*all || *fig == 1) && emit == nil {
 		allCloud, stateCloud, director, state, err := experiments.TagClouds(st, 12)
 		if err != nil {
 			log.Fatal(err)
@@ -87,23 +189,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
+		if emit != nil {
+			emit.table("fig3", tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
 	}
 	if *all || *fig == 5 {
 		tab, err := experiments.DiversityProblems(st, p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
+		if emit != nil {
+			emit.table("fig5", tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
 	}
 	if *all || *fig == 7 {
 		tab, err := experiments.TupleSweep(st, p, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
+		if emit != nil {
+			emit.binTable("fig7", tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
 	}
-	if *all || *fig == 9 {
+	if (*all || *fig == 9) && emit == nil {
 		res, err := userstudy.Run(userstudy.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
@@ -115,16 +229,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
+		if emit != nil {
+			emit.ablationTable(tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
 	}
 	if *all || *ksweep {
 		tab, err := experiments.KSweep(st, p, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
+		if emit != nil {
+			emit.ksweepTable(tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
 	}
-	if *all || *transfer {
+	if (*all || *transfer) && emit == nil {
 		rep, err := experiments.Transfer(datagen.DefaultTransfer())
 		if err != nil {
 			log.Fatal(err)

@@ -8,6 +8,7 @@
 //	            -user-attrs a,b -item-attrs c,d]
 //	            [-min-group-tuples 5] [-workers 4] [-queue 64]
 //	            [-cache 256] [-refresh-every 1] [-timeout 30s] [-seed 1]
+//	            [-prewarm]
 //
 // The corpus comes from one of three places: a dataset JSON file written by
 // tagdm-datagen or Dataset.WriteJSON (-data), a synthesized corpus
@@ -53,6 +54,7 @@ func main() {
 		refreshEvery = flag.Int("refresh-every", 1, "publish a snapshot every N inserts")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request solve timeout")
 		seed         = flag.Int64("seed", 1, "LSH seed for reproducible answers")
+		prewarm      = flag.Bool("prewarm", false, "build pair matrices at snapshot publication instead of on first query")
 	)
 	flag.Parse()
 
@@ -66,14 +68,15 @@ func main() {
 		cache = -1 // Config treats 0 as "default"; negative disables
 	}
 	srv, err := server.New(server.Config{
-		Dataset:        ds,
-		MinGroupTuples: *minTuples,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      cache,
-		RefreshEvery:   *refreshEvery,
-		SolveTimeout:   *timeout,
-		Seed:           *seed,
+		Dataset:         ds,
+		MinGroupTuples:  *minTuples,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       cache,
+		RefreshEvery:    *refreshEvery,
+		SolveTimeout:    *timeout,
+		Seed:            *seed,
+		PrewarmMatrices: *prewarm,
 	})
 	if err != nil {
 		log.Fatal(err)

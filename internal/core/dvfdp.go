@@ -6,7 +6,6 @@ import (
 
 	"tagdm/internal/fdp"
 	"tagdm/internal/groups"
-	"tagdm/internal/mining"
 	"tagdm/internal/vec"
 )
 
@@ -34,9 +33,13 @@ type FDPOptions struct {
 	Mode ConstraintMode
 	// Criterion selects MaxAvg (default) or MaxMin.
 	Criterion FDPCriterion
-	// Precompute materializes the n x n distance matrix up front, as the
-	// paper's Algorithm 2 does; when false, distances are computed lazily
-	// per call, trading CPU for O(n^2) memory. Ablation benches compare.
+	// Precompute collapses the weighted objective sum into one additional
+	// condensed matrix, so each greedy distance is a single lookup instead
+	// of one lookup per objective. The per-binding pair matrices
+	// themselves are always materialized through the engine cache (that is
+	// the point of the scoring layer); this knob only controls the extra
+	// combined matrix, which mainly pays off for multi-objective specs.
+	// Ablation benches compare.
 	Precompute bool
 	// FixedSeed uses the arbitrary-pair seeding ablation instead of the
 	// max-edge seed.
@@ -80,20 +83,12 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 	}
 
 	// The greedy "distance" is the weighted objective pair score, so that
-	// maximizing dispersion maximizes the objective.
-	objPairs := make([]mining.PairFunc, len(spec.Objectives))
-	weights := make([]float64, len(spec.Objectives))
-	for i, o := range spec.Objectives {
-		objPairs[i] = e.PairFunc(o.Dim, o.Meas)
-		weights[i] = o.Weight
-	}
-	dist := func(i, j int) float64 {
-		var s float64
-		for oi, f := range objPairs {
-			s += weights[oi] * f(e.Groups[i], e.Groups[j])
-		}
-		return s
-	}
+	// maximizing dispersion maximizes the objective. Pair values come from
+	// the engine's precomputed matrices; Precompute additionally collapses
+	// the weighted sum across objectives into one condensed matrix, trading
+	// n*(n-1)/2 float64 for a single lookup per pair.
+	scorer := e.scorer(spec)
+	dist := vec.DistFunc(scorer.pairObjective)
 	if opts.Precompute {
 		m := vec.NewMatrixParallel(n, dist, 0)
 		dist = m.At
@@ -134,9 +129,9 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 	// feasibility, floor sweep, support-first and anchored starts).
 	var starts [][]*groups.Group
 	if opts.Mode == Filter {
-		set, adds := e.dvfdpOnce(spec, opts, dist, k, 0)
+		set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, 0)
 		res.CandidatesExamined += adds
-		if set != nil && e.ConstraintsSatisfied(set, spec) {
+		if set != nil && scorer.feasible(scorer.idsOf(set)) {
 			starts = append(starts, set)
 		}
 	} else {
@@ -146,9 +141,9 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 				continue
 			}
 			seen[floor] = true
-			set, adds := e.dvfdpOnce(spec, opts, dist, k, floor)
+			set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, floor)
 			res.CandidatesExamined += adds
-			if set != nil && e.ConstraintsSatisfied(set, spec) {
+			if set != nil && scorer.feasible(scorer.idsOf(set)) {
 				starts = append(starts, set)
 			}
 		}
@@ -158,7 +153,7 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 		bySize = append(bySize, e.Groups...)
 		sort.Slice(bySize, func(i, j int) bool { return bySize[i].Size() > bySize[j].Size() })
 		largest := bySize[:k]
-		if e.ConstraintsSatisfied(largest, spec) {
+		if scorer.feasible(scorer.idsOf(largest)) {
 			starts = append(starts, largest)
 		}
 		// Anchored starts: seed on one large group and greedily complete
@@ -171,9 +166,9 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 			anchors = len(bySize)
 		}
 		for a := 0; a < anchors; a++ {
-			set := e.anchoredStart(bySize[a], spec, dist, k)
+			set := e.anchoredStart(bySize[a], spec, scorer, dist, k)
 			res.CandidatesExamined += int64(len(set))
-			if set != nil && e.ConstraintsSatisfied(set, spec) {
+			if set != nil && scorer.feasible(scorer.idsOf(set)) {
 				starts = append(starts, set)
 			}
 		}
@@ -186,11 +181,11 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 	bestObjective := -1.0
 	for _, set := range starts {
 		if !opts.DisableLocalSearch {
-			improved, swaps := e.localImprove(set, spec)
+			improved, swaps := e.localImprove(set, spec, scorer)
 			set = improved
 			res.CandidatesExamined += swaps
 		}
-		if score := e.ObjectiveScore(set, spec); score > bestObjective {
+		if score := scorer.objective(scorer.idsOf(set)); score > bestObjective {
 			bestObjective = score
 			res.Found = true
 			res.Groups = set
@@ -204,10 +199,16 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 // unselected group when the swap keeps the set feasible and raises the
 // objective, until a round yields no improvement (capped at 8 rounds).
 // It returns the improved set and the number of candidate evaluations.
-func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec) ([]*groups.Group, int64) {
+// Candidates are scored through the spec's pair matrices: a swap trial is
+// O(k^2) float lookups, with no per-trial allocation.
+func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec, sc *matrixScorer) ([]*groups.Group, int64) {
 	cur := make([]*groups.Group, len(set))
 	copy(cur, set)
-	curScore := e.ObjectiveScore(cur, spec)
+	ids := make([]int, len(cur))
+	for i, g := range cur {
+		ids[i] = g.ID
+	}
+	curScore := sc.objective(ids)
 	inSet := make(map[int]bool, len(cur))
 	for _, g := range cur {
 		inSet[g.ID] = true
@@ -222,11 +223,12 @@ func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec) ([]*groups.
 					continue
 				}
 				cur[pos] = cand
+				ids[pos] = cand.ID
 				evals++
 				// Score first: it rejects most candidates and is cheaper
 				// than the full feasibility battery.
-				if score := e.ObjectiveScore(cur, spec); score > curScore+1e-12 &&
-					e.ConstraintsSatisfied(cur, spec) {
+				if score := sc.objective(ids); score > curScore+1e-12 &&
+					sc.feasible(ids) {
 					curScore = score
 					delete(inSet, old.ID)
 					inSet[cand.ID] = true
@@ -235,6 +237,7 @@ func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec) ([]*groups.
 					continue
 				}
 				cur[pos] = old
+				ids[pos] = old.ID
 			}
 		}
 		if !improvedThisRound {
@@ -248,9 +251,13 @@ func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec) ([]*groups.
 // the candidate that maximizes the objective pair-sum to the partial set
 // while keeping it feasible-so-far (constraint aggregates evaluated on the
 // partial set; support deferred to the caller's final check). Returns nil
-// when no candidate can be added at some step.
-func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, dist vec.DistFunc, k int) []*groups.Group {
+// when no candidate can be added at some step. Trial sets are scored as id
+// slices against the constraint matrices, so probing every candidate per
+// step allocates nothing.
+func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, sc *matrixScorer, dist vec.DistFunc, k int) []*groups.Group {
 	set := []*groups.Group{anchor}
+	ids := make([]int, 1, k+1)
+	ids[0] = anchor.ID
 	inSet := map[int]bool{anchor.ID: true}
 	for len(set) < k {
 		var best *groups.Group
@@ -266,10 +273,10 @@ func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, dist vec.
 			if sum <= bestSum {
 				continue
 			}
-			trial := append(set, cand)
+			trial := append(ids, cand.ID)
 			ok := true
-			for _, c := range spec.Constraints {
-				if e.miningFunc(c.Dim, c.Meas).Eval(trial) < c.Threshold {
+			for ci, c := range spec.Constraints {
+				if sc.conMats[ci].MeanOver(trial) < c.Threshold {
 					ok = false
 					break
 				}
@@ -282,6 +289,7 @@ func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, dist vec.
 			return nil
 		}
 		set = append(set, best)
+		ids = append(ids, best.ID)
 		inSet[best.ID] = true
 	}
 	return set
@@ -290,7 +298,7 @@ func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, dist vec.
 // dvfdpOnce runs one greedy dispersion pass with the given candidate size
 // floor, returning the selected groups (nil when no admissible seed pair
 // exists) and the number of greedy selections performed.
-func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, dist vec.DistFunc, k, minSize int) ([]*groups.Group, int64) {
+func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, sc *matrixScorer, dist vec.DistFunc, k, minSize int) ([]*groups.Group, int64) {
 	// Dynamic support-feasibility gate (Fold mode only): a candidate is
 	// admissible only if the support floor can still be reached after
 	// picking it, assuming every remaining slot takes the largest
@@ -321,10 +329,8 @@ func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, dist vec.DistFunc,
 		}
 	}
 	if opts.Mode == Fold && len(spec.Constraints) > 0 {
-		conPairs := make([]mining.PairFunc, len(spec.Constraints))
 		thresholds := make([]float64, len(spec.Constraints))
 		for i, c := range spec.Constraints {
-			conPairs[i] = e.PairFunc(c.Dim, c.Meas)
 			thresholds[i] = c.Threshold
 		}
 		sizeAccept := accept
@@ -332,10 +338,10 @@ func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, dist vec.DistFunc,
 			if sizeAccept != nil && !sizeAccept(selected, cand) {
 				return false
 			}
-			for ci, f := range conPairs {
+			for ci, m := range sc.conMats {
 				var sum float64
 				for _, s := range selected {
-					sum += f(e.Groups[s], e.Groups[cand])
+					sum += m.At(s, cand)
 				}
 				if sum < thresholds[ci]*float64(len(selected)) {
 					return false

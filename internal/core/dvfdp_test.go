@@ -64,7 +64,7 @@ func TestLocalImproveKeepsFeasibility(t *testing.T) {
 	if !res.Found {
 		t.Skip("no feasible start in this world")
 	}
-	improved, _ := e.localImprove(res.Groups, spec)
+	improved, _ := e.localImprove(res.Groups, spec, e.scorer(spec))
 	if !e.ConstraintsSatisfied(improved, spec) {
 		t.Fatal("local search returned infeasible set")
 	}
@@ -83,7 +83,7 @@ func TestLocalImproveIdempotentOnOptimum(t *testing.T) {
 	if !exact.Found {
 		t.Skip("no exact optimum")
 	}
-	improved, _ := e.localImprove(exact.Groups, spec)
+	improved, _ := e.localImprove(exact.Groups, spec, e.scorer(spec))
 	got := e.ObjectiveScore(improved, spec)
 	if got > exact.Objective+1e-9 {
 		t.Fatalf("local search beat the exact optimum: %v > %v", got, exact.Objective)
@@ -98,7 +98,7 @@ func TestAnchoredStartFeasiblePartials(t *testing.T) {
 	spec, _ := PaperProblem(6, 3, 5, 0.5, 0.5)
 	div := e.PairFunc(mining.Tags, mining.Diversity)
 	dist := func(i, j int) float64 { return div(e.Groups[i], e.Groups[j]) }
-	set := e.anchoredStart(e.Groups[0], spec, dist, 3)
+	set := e.anchoredStart(e.Groups[0], spec, e.scorer(spec), dist, 3)
 	if set == nil {
 		t.Skip("no anchored completion in this world")
 	}

@@ -18,11 +18,21 @@ type Engine struct {
 	Groups []*groups.Group
 	Sigs   []signature.Signature
 
-	// pairFuncs caches the concrete pair function per (dimension, measure);
-	// mu guards it so concurrent Solves on one engine (a server answering
-	// parallel analyze requests against a shared snapshot) are safe.
+	// pairFuncs caches the concrete pair function per (dimension, measure),
+	// and matrices the corresponding precomputed PairMatrix over all engine
+	// groups; mu guards both so concurrent Solves on one engine (a server
+	// answering parallel analyze requests against a shared snapshot) are
+	// safe. Matrices build lazily on first use and persist for the engine's
+	// lifetime, so every solver run — and every concurrent request hitting
+	// one snapshot epoch — shares the same pay-once pair computations.
 	mu        sync.Mutex
 	pairFuncs map[pairKey]mining.PairFunc
+	matrices  map[pairKey]*mining.PairMatrix
+	// pairVers counts SetPairFunc overrides per binding; a matrix built
+	// outside the lock is published only if the binding's version is
+	// unchanged, so a racing override can never be shadowed by a stale
+	// matrix.
+	pairVers map[pairKey]uint64
 }
 
 type pairKey struct {
@@ -41,7 +51,14 @@ func NewEngine(s *store.Store, gs []*groups.Group, sigs []signature.Signature) (
 			return nil, fmt.Errorf("core: group at position %d has ID %d; re-enumerate before building the engine", i, g.ID)
 		}
 	}
-	e := &Engine{Store: s, Groups: gs, Sigs: sigs, pairFuncs: make(map[pairKey]mining.PairFunc)}
+	e := &Engine{
+		Store:     s,
+		Groups:    gs,
+		Sigs:      sigs,
+		pairFuncs: make(map[pairKey]mining.PairFunc),
+		matrices:  make(map[pairKey]*mining.PairMatrix),
+		pairVers:  make(map[pairKey]uint64),
+	}
 	return e, nil
 }
 
@@ -68,7 +85,63 @@ func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.Pair
 func (e *Engine) SetPairFunc(dim mining.Dimension, meas mining.Measure, f mining.PairFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.pairFuncs[pairKey{dim, meas}] = f
+	k := pairKey{dim, meas}
+	e.pairFuncs[k] = f
+	// The cached matrix embodies the old measure; drop it (and bump the
+	// version so an in-flight build of the old measure cannot repopulate
+	// the cache) so the next solver run rebuilds from f.
+	delete(e.matrices, k)
+	e.pairVers[k]++
+}
+
+// PairMatrix returns the precomputed pair matrix for a binding, building it
+// over all engine groups on first use (n*(n-1)/2 float64 per binding, rows
+// parallelized across GOMAXPROCS). Two racing first calls may both build;
+// whichever publishes first wins, and both results are identical because
+// builds read the same immutable groups through the same pair function. A
+// build that raced a SetPairFunc override is discarded and retried against
+// the new function.
+func (e *Engine) PairMatrix(dim mining.Dimension, meas mining.Measure) *mining.PairMatrix {
+	k := pairKey{dim, meas}
+	for {
+		e.mu.Lock()
+		if m, ok := e.matrices[k]; ok {
+			e.mu.Unlock()
+			return m
+		}
+		ver := e.pairVers[k]
+		e.mu.Unlock()
+		// Build outside the lock: a multi-second build must not stall
+		// solvers that only need already-cached bindings (or the pairFuncs
+		// map).
+		m := mining.NewPairMatrix(e.Groups, e.PairFunc(dim, meas), 0)
+		e.mu.Lock()
+		if exist, ok := e.matrices[k]; ok {
+			e.mu.Unlock()
+			return exist
+		}
+		if e.pairVers[k] != ver {
+			// SetPairFunc landed mid-build; this matrix holds the old
+			// measure's values. Retry with the current function.
+			e.mu.Unlock()
+			continue
+		}
+		e.matrices[k] = m
+		e.mu.Unlock()
+		return m
+	}
+}
+
+// PrewarmMatrices builds every pair matrix a spec's constraints and
+// objectives will read, so later solver runs (and concurrent requests
+// sharing the engine) start on warm lookups.
+func (e *Engine) PrewarmMatrices(spec ProblemSpec) {
+	for _, c := range spec.Constraints {
+		e.PairMatrix(c.Dim, c.Meas)
+	}
+	for _, o := range spec.Objectives {
+		e.PairMatrix(o.Dim, o.Meas)
+	}
 }
 
 // miningFunc builds the full aggregate function for a binding.

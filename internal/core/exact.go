@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"tagdm/internal/groups"
+	"tagdm/internal/mining"
+	"tagdm/internal/store"
 )
 
 // DefaultMaxExactCandidates caps the number of candidate sets the Exact
@@ -29,6 +31,17 @@ type ExactOptions struct {
 // groups, keeps those satisfying all constraints, and returns the feasible
 // set with maximum objective. This is the paper's Exact baseline: optimal
 // but exponential in k.
+//
+// Scoring is incremental over precomputed pair matrices: every pair
+// function is evaluated once per group pair at setup, and the depth-first
+// enumeration maintains running objective/constraint pair-sums and a
+// push/pop support union, so extending a candidate by one group costs O(k)
+// float lookups plus one bitmap pass — no recomputation and no allocation
+// per candidate. Decisions and the returned argmax are identical to
+// evaluating every candidate from scratch with ObjectiveScore and
+// ConstraintsSatisfied (for k up to 3, the paper's setting, scores are
+// bit-for-bit equal; beyond that the same pair values are summed in a
+// different association order).
 func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -54,11 +67,15 @@ func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 			n, spec.KLo, spec.KHi, limit)
 	}
 
+	// One scorer materializes (or fetches from the engine cache) the pair
+	// matrices behind the spec; workers share its immutable matrices and
+	// keep all mutable DFS state private.
+	sc := e.scorer(spec)
 	res := Result{Algorithm: "Exact"}
 	if opts.Parallel {
-		e.exactParallel(spec, &res)
+		e.exactParallel(spec, sc, &res)
 	} else {
-		w := exactWorker{engine: e, spec: spec}
+		w := newExactWorker(e, spec, sc, 0)
 		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 			w.enumerate(0, k, 1)
 		}
@@ -74,10 +91,39 @@ func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 // with i % stride == offset (offset encoded by the initial call), then all
 // completions. It keeps the first maximum it encounters, which in the
 // enumeration order means the lexicographically smallest argmax.
+//
+// Per-candidate state lives in depth-indexed stacks preallocated to the
+// maximum set size: cumulative pair-sums per objective and per constraint,
+// cumulative group sizes, and one union bitmap per level derived from its
+// parent without cloning. The pair-sum stacks are mining.IncrementalEval's
+// scheme (cumulative values, never +delta/-delta, for bit-exact
+// backtracking — see its docs and TestIncrementalEvalBacktrackExact)
+// inlined so every binding shares one ids stack and one non-virtual push
+// loop; composing per-binding IncrementalEvals measured ~30% slower on
+// BenchmarkExactSerial. Keep the two in sync. Nothing allocates inside the
+// enumeration.
 type exactWorker struct {
-	engine    *Engine
-	spec      ProblemSpec
-	set       []*groups.Group
+	engine *Engine
+	spec   ProblemSpec
+	// objMats/conMats alias the shared matrixScorer's immutable matrices.
+	objMats []*mining.PairMatrix
+	conMats []*mining.PairMatrix
+
+	depth    int
+	ids      []int
+	objSums  [][]float64 // objSums[o][d]: pair-sum of objective o over ids[:d+1]
+	conSums  [][]float64
+	sizeSums []int
+	// unions[d] is the support union of ids[:d+1], materialized lazily:
+	// only the levels up to unionDepth are valid for the current path, and
+	// levels are computed in leafFeasible strictly behind the size-sum
+	// fast reject, so candidates that fail it never pay a bitmap pass.
+	// Backtracking lowers the watermark instead of touching the bitmaps,
+	// so sibling candidates still share every interior level.
+	unions     []*store.Bitmap
+	unionCnt   []int
+	unionDepth int
+
 	best      []*groups.Group
 	bestScore float64
 	found     bool
@@ -85,19 +131,151 @@ type exactWorker struct {
 	offset    int
 }
 
+// newExactWorker builds one worker's mutable DFS state over the scorer's
+// shared immutable matrices (sc's own scratch-mutating methods are never
+// called here).
+func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int) *exactWorker {
+	kMax := spec.KHi
+	if n := len(e.Groups); kMax > n {
+		kMax = n
+	}
+	w := &exactWorker{
+		engine:   e,
+		spec:     spec,
+		objMats:  sc.objMats,
+		conMats:  sc.conMats,
+		offset:   offset,
+		ids:      make([]int, kMax),
+		objSums:  make([][]float64, len(sc.objMats)),
+		conSums:  make([][]float64, len(sc.conMats)),
+		sizeSums: make([]int, kMax),
+	}
+	for oi := range w.objSums {
+		w.objSums[oi] = make([]float64, kMax)
+	}
+	for ci := range w.conSums {
+		w.conSums[ci] = make([]float64, kMax)
+	}
+	if spec.MinSupport > 0 {
+		w.unions = make([]*store.Bitmap, kMax)
+		w.unionCnt = make([]int, kMax)
+		for d := range w.unions {
+			w.unions[d] = store.NewBitmap(e.Store.Len())
+		}
+	}
+	return w
+}
+
+// push extends the candidate set with group i, advancing every running
+// pair-sum by one level at O(depth) matrix lookups per binding; support
+// unions are materialized lazily in leafFeasible.
+func (w *exactWorker) push(i int) {
+	d := w.depth
+	for oi, m := range w.objMats {
+		sum := 0.0
+		if d > 0 {
+			sum = w.objSums[oi][d-1]
+		}
+		for _, x := range w.ids[:d] {
+			sum += m.At(x, i)
+		}
+		w.objSums[oi][d] = sum
+	}
+	for ci, m := range w.conMats {
+		sum := 0.0
+		if d > 0 {
+			sum = w.conSums[ci][d-1]
+		}
+		for _, x := range w.ids[:d] {
+			sum += m.At(x, i)
+		}
+		w.conSums[ci][d] = sum
+	}
+	g := w.engine.Groups[i]
+	if d > 0 {
+		w.sizeSums[d] = w.sizeSums[d-1] + g.Size()
+	} else {
+		w.sizeSums[0] = g.Size()
+	}
+	w.ids[d] = i
+	w.depth++
+}
+
+// pop backtracks one level; parent aggregates are untouched in the stacks,
+// and union levels above the new depth merely fall out of the watermark.
+func (w *exactWorker) pop() {
+	w.depth--
+	if w.unionDepth > w.depth {
+		w.unionDepth = w.depth
+	}
+}
+
+// leafFeasible replays ConstraintsSatisfied's decision from the running
+// aggregates: size bounds, constraint means against thresholds, then the
+// support floor behind its cheap size-sum reject.
+func (w *exactWorker) leafFeasible() bool {
+	k := w.depth
+	if k < w.spec.KLo || k > w.spec.KHi {
+		return false
+	}
+	if k >= 2 {
+		pairs := float64(k * (k - 1) / 2)
+		for ci, c := range w.spec.Constraints {
+			if w.conSums[ci][k-1]/pairs < c.Threshold {
+				return false
+			}
+		}
+	}
+	if w.spec.MinSupport > 0 {
+		if w.sizeSums[k-1] < w.spec.MinSupport {
+			return false
+		}
+		for d := w.unionDepth; d < k; d++ {
+			g := w.engine.Groups[w.ids[d]]
+			if d > 0 {
+				w.unionCnt[d] = w.unions[d-1].UnionCountInto(g.Tuples, w.unions[d])
+			} else {
+				w.unions[0].CopyFrom(g.Tuples)
+				w.unionCnt[0] = g.Size()
+			}
+		}
+		w.unionDepth = k
+		if w.unionCnt[k-1] < w.spec.MinSupport {
+			return false
+		}
+	}
+	return true
+}
+
+// leafObjective reads the weighted objective sum off the running pair-sums.
+func (w *exactWorker) leafObjective() float64 {
+	k := w.depth
+	var total float64
+	for oi, o := range w.spec.Objectives {
+		var v float64
+		if k >= 2 {
+			v = w.objSums[oi][k-1] / float64(k*(k-1)/2)
+		}
+		total += o.Weight * v
+	}
+	return total
+}
+
 // enumerate recursively extends the worker's candidate set; stride shards
 // only the outermost level (depth == full k).
 func (w *exactWorker) enumerate(startIdx, k, stride int) {
-	e := w.engine
-	n := len(e.Groups)
+	n := len(w.engine.Groups)
 	if k == 0 {
 		w.examined++
-		if !e.ConstraintsSatisfied(w.set, w.spec) {
+		if !w.leafFeasible() {
 			return
 		}
-		if score := e.ObjectiveScore(w.set, w.spec); !w.found || score > w.bestScore {
+		if score := w.leafObjective(); !w.found || score > w.bestScore {
 			w.bestScore = score
-			w.best = append(w.best[:0], w.set...)
+			w.best = w.best[:0]
+			for _, id := range w.ids[:w.depth] {
+				w.best = append(w.best, w.engine.Groups[id])
+			}
 			w.found = true
 		}
 		return
@@ -111,9 +289,9 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 		}
 	}
 	for i := first; i <= n-k; i += step {
-		w.set = append(w.set, e.Groups[i])
+		w.push(i)
 		w.enumerate(i+1, k-1, 1)
-		w.set = w.set[:len(w.set)-1]
+		w.pop()
 	}
 }
 
@@ -121,7 +299,7 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 // deterministically: highest score wins, ties go to the candidate that the
 // serial enumeration would have met first (smaller size, then smaller
 // group IDs).
-func (e *Engine) exactParallel(spec ProblemSpec, res *Result) {
+func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, res *Result) {
 	n := len(e.Groups)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -130,29 +308,21 @@ func (e *Engine) exactParallel(spec ProblemSpec, res *Result) {
 	if workers < 1 {
 		workers = 1
 	}
-	// Warm the pair-function cache: workers only read it afterwards.
-	for _, c := range spec.Constraints {
-		e.PairFunc(c.Dim, c.Meas)
-	}
-	for _, o := range spec.Objectives {
-		e.PairFunc(o.Dim, o.Meas)
-	}
-	results := make([]exactWorker, workers)
+	results := make([]*exactWorker, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := &results[wi]
-			w.engine, w.spec, w.offset = e, spec, wi
+			w := newExactWorker(e, spec, sc, wi)
+			results[wi] = w
 			for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 				w.enumerate(0, k, workers)
 			}
 		}(wi)
 	}
 	wg.Wait()
-	for i := range results {
-		w := &results[i]
+	for _, w := range results {
 		res.CandidatesExamined += w.examined
 		if !w.found {
 			continue

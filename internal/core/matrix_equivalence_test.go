@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/mining"
+)
+
+// naiveExact re-implements the pre-matrix Exact baseline verbatim: full
+// enumeration with every candidate scored from scratch through the naive
+// ObjectiveScore / ConstraintsSatisfied pair. The production Exact must
+// reproduce its decisions byte for byte.
+func naiveExact(e *Engine, spec ProblemSpec) (bool, []*groups.Group, float64, int64) {
+	n := len(e.Groups)
+	var (
+		found     bool
+		best      []*groups.Group
+		bestScore float64
+		examined  int64
+	)
+	var set []*groups.Group
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == 0 {
+			examined++
+			if !e.ConstraintsSatisfied(set, spec) {
+				return
+			}
+			if score := e.ObjectiveScore(set, spec); !found || score > bestScore {
+				bestScore = score
+				best = append(best[:0:0], set...)
+				found = true
+			}
+			return
+		}
+		for i := start; i <= n-k; i++ {
+			set = append(set, e.Groups[i])
+			rec(i+1, k-1)
+			set = set[:len(set)-1]
+		}
+	}
+	for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
+		rec(0, k)
+	}
+	return found, best, bestScore, examined
+}
+
+func sameGroupIDs(a, b []*groups.Group) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExactMatchesNaiveReference sweeps every solvable role assignment plus
+// the six paper problems (under several support floors and size bounds)
+// and demands that the incremental matrix-backed Exact — serial and
+// parallel — reproduces the naive enumeration exactly: same feasibility,
+// same argmax set, bit-identical objective, same candidate count.
+func TestExactMatchesNaiveReference(t *testing.T) {
+	e := buildEngine(t)
+	var specs []ProblemSpec
+	for id := 1; id <= 6; id++ {
+		for _, p := range []int{0, 5, 12} {
+			spec, err := PaperProblem(id, 3, p, 0.5, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	for _, spec := range AllRoles() {
+		spec.MinSupport = 8
+		specs = append(specs, spec)
+	}
+	for _, spec := range specs {
+		wantFound, wantBest, wantScore, wantExamined := naiveExact(e, spec)
+		for _, parallel := range []bool{false, true} {
+			res, err := e.Exact(spec, ExactOptions{Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s parallel=%v: %v", spec.Name, parallel, err)
+			}
+			if res.Found != wantFound {
+				t.Fatalf("%s parallel=%v: found %v, naive %v",
+					spec.Name, parallel, res.Found, wantFound)
+			}
+			if res.CandidatesExamined != wantExamined {
+				t.Fatalf("%s parallel=%v: examined %d, naive %d",
+					spec.Name, parallel, res.CandidatesExamined, wantExamined)
+			}
+			if !wantFound {
+				continue
+			}
+			if !sameGroupIDs(res.Groups, wantBest) {
+				t.Fatalf("%s parallel=%v: argmax %v, naive %v",
+					spec.Name, parallel, res.Describe(e.Store), groupIDs(wantBest))
+			}
+			if res.Objective != wantScore {
+				t.Fatalf("%s parallel=%v: objective %v, naive %v",
+					spec.Name, parallel, res.Objective, wantScore)
+			}
+		}
+	}
+}
+
+func groupIDs(gs []*groups.Group) []int {
+	out := make([]int, len(gs))
+	for i, g := range gs {
+		out[i] = g.ID
+	}
+	return out
+}
+
+// TestScorerMatchesNaive checks the matrix scorer against the naive
+// ObjectiveScore / ConstraintsSatisfied on randomized candidate sets of
+// every size the engine can produce, including empty and singleton sets.
+func TestScorerMatchesNaive(t *testing.T) {
+	e := buildEngine(t)
+	rng := rand.New(rand.NewSource(17))
+	specs := AllRoles()
+	for si, spec := range specs {
+		spec.MinSupport = []int{0, 5, 10, 25}[si%4]
+		spec.KLo = 1 + si%2
+		spec.KHi = 2 + si%3
+		sc := e.scorer(spec)
+		for trial := 0; trial < 20; trial++ {
+			k := rng.Intn(5)
+			perm := rng.Perm(len(e.Groups))[:k]
+			set := make([]*groups.Group, k)
+			for i, id := range perm {
+				set[i] = e.Groups[id]
+			}
+			ids := sc.idsOf(set)
+			if got, want := sc.objective(ids), e.ObjectiveScore(set, spec); got != want {
+				t.Fatalf("spec %d trial %d: objective %v, naive %v", si, trial, got, want)
+			}
+			if got, want := sc.feasible(ids), e.ConstraintsSatisfied(set, spec); got != want {
+				t.Fatalf("spec %d trial %d (k=%d): feasible %v, naive %v", si, trial, k, got, want)
+			}
+			if got, want := sc.support(ids), groups.Support(set); got != want {
+				t.Fatalf("spec %d trial %d: support %d, naive %d", si, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestSetPairFuncInvalidatesMatrix proves an overridden measure is not
+// served stale values from a previously built matrix.
+func TestSetPairFuncInvalidatesMatrix(t *testing.T) {
+	e := buildEngine(t)
+	m := e.PairMatrix(mining.Users, mining.Similarity)
+	if m2 := e.PairMatrix(mining.Users, mining.Similarity); m2 != m {
+		t.Fatal("second PairMatrix call must return the cached matrix")
+	}
+	e.SetPairFunc(mining.Users, mining.Similarity,
+		func(g1, g2 *groups.Group) float64 { return 0.25 })
+	m3 := e.PairMatrix(mining.Users, mining.Similarity)
+	if m3 == m {
+		t.Fatal("SetPairFunc must invalidate the cached matrix")
+	}
+	if got := m3.At(0, 1); got != 0.25 {
+		t.Fatalf("rebuilt matrix serves %v, want 0.25", got)
+	}
+}
+
+// TestExactCandidateLoopAllocationFree pins the tentpole claim: after the
+// matrices are warm, a full serial Exact run allocates only its fixed
+// setup (worker stacks, result bookkeeping) — nothing per candidate. The
+// world yields ~700 candidates per run, so a sub-candidate-count ceiling
+// proves the loop itself is allocation-free.
+func TestExactCandidateLoopAllocationFree(t *testing.T) {
+	e := buildEngine(t)
+	spec, err := PaperProblem(1, 3, 5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.PrewarmMatrices(spec)
+	res, err := e.Exact(spec, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidatesExamined < 500 {
+		t.Fatalf("world too small to prove anything: %d candidates", res.CandidatesExamined)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := e.Exact(spec, ExactOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 60 {
+		t.Fatalf("Exact allocated %v objects per run over %d candidates; the candidate loop is leaking allocations",
+			avg, res.CandidatesExamined)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"tagdm/internal/groups"
+	"tagdm/internal/mining"
+	"tagdm/internal/store"
+)
+
+// matrixScorer evaluates candidate sets — identified by dense group IDs —
+// against one spec through the engine's precomputed pair matrices: pure
+// float lookups in the hot loop instead of recomputed pair functions, and a
+// reusable union bitmap instead of a Clone per support check. Decisions and
+// scores are bit-identical to ObjectiveScore/ConstraintsSatisfied, whose
+// pair visit order the matrix aggregation replicates.
+//
+// The objMats/conMats fields are immutable and safe to read from many
+// goroutines (the Exact workers share one scorer that way), but idsOf and
+// support mutate the scorer's scratch buffers: those methods belong to one
+// goroutine. The matrices come from the engine's shared cache, so building
+// a second scorer for the same spec costs nothing new.
+type matrixScorer struct {
+	spec    ProblemSpec
+	groups  []*groups.Group
+	objMats []*mining.PairMatrix
+	conMats []*mining.PairMatrix
+
+	ids      []int         // reusable id buffer for set-based callers
+	scratch  *store.Bitmap // reusable support union for k >= 3, lazily built
+	universe int           // scratch universe (the store's tuple count)
+}
+
+// scorer builds a matrix scorer for spec, lazily materializing any missing
+// matrices in the engine cache.
+func (e *Engine) scorer(spec ProblemSpec) *matrixScorer {
+	s := &matrixScorer{
+		spec:     spec,
+		groups:   e.Groups,
+		objMats:  make([]*mining.PairMatrix, len(spec.Objectives)),
+		conMats:  make([]*mining.PairMatrix, len(spec.Constraints)),
+		universe: e.Store.Len(),
+	}
+	for i, o := range spec.Objectives {
+		s.objMats[i] = e.PairMatrix(o.Dim, o.Meas)
+	}
+	for i, c := range spec.Constraints {
+		s.conMats[i] = e.PairMatrix(c.Dim, c.Meas)
+	}
+	return s
+}
+
+// idsOf maps a group set to its id slice, reusing the scorer's buffer. The
+// result is valid until the next idsOf call.
+func (s *matrixScorer) idsOf(set []*groups.Group) []int {
+	s.ids = s.ids[:0]
+	for _, g := range set {
+		s.ids = append(s.ids, g.ID)
+	}
+	return s.ids
+}
+
+// objective is the weighted objective sum of a candidate set, equal to
+// Engine.ObjectiveScore on the corresponding groups.
+func (s *matrixScorer) objective(ids []int) float64 {
+	var total float64
+	for oi, o := range s.spec.Objectives {
+		total += o.Weight * s.objMats[oi].MeanOver(ids)
+	}
+	return total
+}
+
+// pairObjective is the weighted objective pair score of two groups — the
+// greedy "distance" DV-FDP disperses over.
+func (s *matrixScorer) pairObjective(i, j int) float64 {
+	var total float64
+	for oi, o := range s.spec.Objectives {
+		total += o.Weight * s.objMats[oi].At(i, j)
+	}
+	return total
+}
+
+// feasible makes the same accept/reject decision as
+// Engine.ConstraintsSatisfied, in the same order: group-count bounds, hard
+// constraints (trivially met below two groups), then the support floor with
+// the cheap size-sum reject first.
+func (s *matrixScorer) feasible(ids []int) bool {
+	k := len(ids)
+	if k < s.spec.KLo || k > s.spec.KHi {
+		return false
+	}
+	if k >= 2 {
+		for ci, c := range s.spec.Constraints {
+			if s.conMats[ci].MeanOver(ids) < c.Threshold {
+				return false
+			}
+		}
+	}
+	if s.spec.MinSupport > 0 {
+		sum := 0
+		for _, id := range ids {
+			sum += s.groups[id].Size()
+		}
+		if sum < s.spec.MinSupport {
+			return false
+		}
+		if s.support(ids) < s.spec.MinSupport {
+			return false
+		}
+	}
+	return true
+}
+
+// support is the group support (Definition 1) of the set, computed without
+// allocating: small unions count directly, larger ones accumulate into the
+// scorer's scratch bitmap.
+func (s *matrixScorer) support(ids []int) int {
+	switch len(ids) {
+	case 0:
+		return 0
+	case 1:
+		return s.groups[ids[0]].Size()
+	case 2:
+		return s.groups[ids[0]].Tuples.OrCount(s.groups[ids[1]].Tuples)
+	}
+	if s.scratch == nil {
+		// Lazy: Exact workers keep their own per-depth unions and never
+		// reach here, so they skip the buffer entirely.
+		s.scratch = store.NewBitmap(s.universe)
+	}
+	count := s.groups[ids[0]].Tuples.UnionCountInto(s.groups[ids[1]].Tuples, s.scratch)
+	for _, id := range ids[2:] {
+		count = s.scratch.UnionCountInto(s.groups[id].Tuples, s.scratch)
+	}
+	return count
+}

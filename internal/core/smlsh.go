@@ -68,6 +68,14 @@ func (o LSHOptions) withDefaults() LSHOptions {
 // objectives are all similarity criteria; diversity objectives need the
 // DVFDP family because the hash function cannot be inverted for
 // dissimilarity (Section 4.3, Discussion).
+//
+// Bucket scoring reads the engine's precomputed pair matrices, which on a
+// cold engine costs an O(n^2) parallel build per binding before any bucket
+// is hashed — a deliberate trade: repeated solves (relaxation rounds here,
+// every later run on the engine, every concurrent request against a server
+// snapshot) then score from pure lookups. For one-shot runs over very
+// large group universes, prefer engines that outlive the query (or the
+// server's per-epoch sharing); adaptive gating is a roadmap item.
 func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -83,6 +91,9 @@ func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
 	}
 	res := Result{Algorithm: name}
 
+	// One matrix-backed scorer serves every relaxation round: bucket
+	// feasibility and ranking read precomputed pair values.
+	scorer := e.scorer(spec)
 	vectors := e.hashVectors(spec, opts.Mode)
 
 	// Binary-search relaxation over d' (Algorithm 1): try the current d';
@@ -100,7 +111,7 @@ func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		found, single, examined := e.bestBucket(idx, spec, opts)
+		found, single, examined := e.bestBucket(idx, spec, opts, scorer)
 		res.CandidatesExamined += examined
 		if found != nil {
 			res.Found = true
@@ -187,7 +198,7 @@ func (e *Engine) hashVectors(spec ProblemSpec, mode ConstraintMode) [][]float64 
 // fits [KLo, KHi] (trimming oversized buckets unless strict), checks
 // feasibility, ranks by objective score, and returns the best multi-group
 // set plus the best feasible singleton (both nil when none qualify).
-func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions) (multi, single []*groups.Group, examined int64) {
+func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions, sc *matrixScorer) (multi, single []*groups.Group, examined int64) {
 	buckets := idx.Buckets()
 	// Deterministic processing order regardless of map iteration.
 	sort.Slice(buckets, func(i, j int) bool {
@@ -208,17 +219,19 @@ func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions) (
 			if opts.StrictBucketSize {
 				continue
 			}
-			ids = e.trimBucket(ids, spec)
-		}
-		set := make([]*groups.Group, len(ids))
-		for i, id := range ids {
-			set[i] = e.Groups[id]
+			ids = e.trimBucket(ids, spec, sc)
 		}
 		// Both modes must end with a feasible set; folding only raises the
 		// odds that co-hashed groups already satisfy the folded
 		// constraints, it does not remove the final check for the rest.
-		if !e.ConstraintsSatisfied(set, spec) {
+		// Rejected buckets — the overwhelming majority — cost matrix
+		// lookups only; groups materialize just for the survivors.
+		if !sc.feasible(ids) {
 			continue
+		}
+		set := make([]*groups.Group, len(ids))
+		for i, id := range ids {
+			set[i] = e.Groups[id]
 		}
 		if len(set) == 1 {
 			if set[0].Size() > bestSingleSize {
@@ -227,7 +240,7 @@ func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions) (
 			}
 			continue
 		}
-		if score := e.ObjectiveScore(set, spec); score > bestScore {
+		if score := sc.objective(ids); score > bestScore {
 			bestScore = score
 			multi = set
 		}
@@ -241,7 +254,7 @@ func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions) (
 // When a support floor is set, trimming prefers members large enough that
 // KHi of them can clear it (size >= MinSupport/KHi), falling back to the
 // whole bucket when too few qualify.
-func (e *Engine) trimBucket(ids []int, spec ProblemSpec) []int {
+func (e *Engine) trimBucket(ids []int, spec ProblemSpec, sc *matrixScorer) []int {
 	k := spec.KHi
 	if spec.MinSupport > 0 && k > 0 {
 		floor := (spec.MinSupport + k - 1) / k
@@ -255,13 +268,7 @@ func (e *Engine) trimBucket(ids []int, spec ProblemSpec) []int {
 			ids = big
 		}
 	}
-	pair := func(a, b int) float64 {
-		var s float64
-		for _, o := range spec.Objectives {
-			s += o.Weight * e.PairFunc(o.Dim, o.Meas)(e.Groups[a], e.Groups[b])
-		}
-		return s
-	}
+	pair := sc.pairObjective
 	// Seed with the best pair.
 	bi, bj, best := 0, 1, -1.0
 	for i := 0; i < len(ids); i++ {

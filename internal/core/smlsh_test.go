@@ -103,7 +103,7 @@ func TestTrimBucketSelectsBestPairs(t *testing.T) {
 	for i := range ids {
 		ids[i] = i
 	}
-	kept := e.trimBucket(ids, spec)
+	kept := e.trimBucket(ids, spec, e.scorer(spec))
 	if len(kept) != 2 {
 		t.Fatalf("trim kept %d", len(kept))
 	}
@@ -121,7 +121,7 @@ func TestTrimBucketRespectsSupportFloor(t *testing.T) {
 	// the whole bucket.
 	spec, _ := PaperProblem(1, 2, 30, 0.5, 0.5)
 	ids := []int{0, 1, 2, 3}
-	kept := e.trimBucket(ids, spec)
+	kept := e.trimBucket(ids, spec, e.scorer(spec))
 	if len(kept) != 2 {
 		t.Fatalf("fallback trim kept %d", len(kept))
 	}

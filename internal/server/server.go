@@ -19,6 +19,15 @@
 // Solver work runs on a bounded worker pool with per-request timeouts, so
 // a burst of expensive analyses degrades into explicit 429s instead of
 // unbounded goroutine pileup.
+//
+// Precomputed pair matrices follow the same epoch discipline: the snapshot
+// engine lazily builds one condensed matrix per (dimension, measure)
+// binding on the first solve that needs it, and every concurrent analyze
+// against that snapshot reads the same matrices — pair functions are paid
+// once per epoch, not once per request. Publishing a new snapshot starts a
+// fresh engine (and thus fresh matrices) consistent with the new data;
+// Config.PrewarmMatrices moves the build from the first query to publish
+// time for predictable tail latencies.
 package server
 
 import (
@@ -35,6 +44,7 @@ import (
 	"tagdm/internal/core"
 	"tagdm/internal/groups"
 	"tagdm/internal/incremental"
+	"tagdm/internal/mining"
 	"tagdm/internal/model"
 	"tagdm/internal/query"
 	"tagdm/internal/signature"
@@ -67,6 +77,15 @@ type Config struct {
 	SolveTimeout time.Duration
 	// Seed drives the LSH hyperplanes for reproducible answers.
 	Seed int64
+	// PrewarmMatrices builds the pair matrices of every (dimension,
+	// measure) binding at snapshot publication instead of on the first
+	// query needing them, trading publish latency for flat analyze tails:
+	// the publishing ingest request waits for six O(n^2) builds (other
+	// ingests proceed; publication itself is never blocked on the build).
+	// Pair it with a RefreshEvery large enough to amortize the cost on
+	// write-heavy streams. Matrices cost n*(n-1)/2 float64 per binding
+	// over n groups.
+	PrewarmMatrices bool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 		s.pool.close()
 		return nil, err
 	}
+	s.prewarm()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/actions", s.handleActions)
@@ -172,6 +192,24 @@ func (s *Server) publishLocked() error {
 	s.unpublished = 0
 	s.metrics.snapshots.Add(1)
 	return nil
+}
+
+// prewarm builds every (dimension, measure) pair matrix of the currently
+// published snapshot. Callers invoke it after releasing s.mu: an O(n^2)
+// build per binding must never stall the write path, and the engine's own
+// matrix cache already makes racing analyzes share whatever is built. The
+// publishing request waits for the build (that is the prewarm contract —
+// publish pays so analyzes don't), while other ingests proceed.
+func (s *Server) prewarm() {
+	if !s.cfg.PrewarmMatrices {
+		return
+	}
+	eng := s.snap.Load().Engine
+	for _, dim := range []mining.Dimension{mining.Users, mining.Items, mining.Tags} {
+		for _, meas := range []mining.Measure{mining.Similarity, mining.Diversity} {
+			eng.PairMatrix(dim, meas)
+		}
+	}
 }
 
 // --- wire types ---
@@ -520,6 +558,9 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Pending = s.unpublished
 	s.mu.Unlock()
+	if resp.Published {
+		s.prewarm()
+	}
 
 	resp.Epoch = s.snap.Load().Version
 	writeJSON(w, http.StatusOK, resp)
@@ -561,6 +602,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
 		return
 	}
+	s.prewarm()
 	snap := s.snap.Load()
 	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Version, "groups": len(snap.Groups)})
 }

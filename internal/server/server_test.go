@@ -527,3 +527,76 @@ func TestPartialBatchFailureKeepsAccounting(t *testing.T) {
 		t.Fatalf("ingested metric = %d, want 1", stats.Ingest.Actions)
 	}
 }
+
+// deterministicDataset is testDataset with a fixed action insertion order
+// (testDataset ranges over a map, so two calls produce different tag-id
+// orders — fine for single-server tests, fatal for cross-server
+// comparisons of LSH-seeded answers).
+func deterministicDataset(t testing.TB) *model.Dataset {
+	t.Helper()
+	d := model.NewDataset(model.NewSchema("gender"), model.NewSchema("genre"))
+	must := func(id int32, err error) int32 {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	m := must(d.AddUser(map[string]string{"gender": "male"}))
+	f := must(d.AddUser(map[string]string{"gender": "female"}))
+	action := must(d.AddItem(map[string]string{"genre": "action"}))
+	drama := must(d.AddItem(map[string]string{"genre": "drama"}))
+	for _, a := range []struct {
+		user, item int32
+		tags       []string
+	}{
+		{m, action, []string{"gun", "explosion", "gun"}},
+		{f, action, []string{"stunt", "gun", "chase"}},
+		{m, drama, []string{"tears", "slow", "acting"}},
+		{f, drama, []string{"acting", "tears", "romance"}},
+	} {
+		for _, tag := range a.tags {
+			if err := d.AddAction(a.user, a.item, 3, tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestPrewarmMatricesMatchesColdResults(t *testing.T) {
+	cold := httptest.NewServer(newTestServer(t, func(c *Config) {
+		c.Dataset = deterministicDataset(t)
+	}))
+	defer cold.Close()
+	warm := httptest.NewServer(newTestServer(t, func(c *Config) {
+		c.Dataset = deterministicDataset(t)
+		c.PrewarmMatrices = true
+	}))
+	defer warm.Close()
+
+	status, coldResp := analyze(t, cold, testQuery)
+	if status != http.StatusOK {
+		t.Fatalf("cold analyze status %d", status)
+	}
+	status, warmResp := analyze(t, warm, testQuery)
+	if status != http.StatusOK {
+		t.Fatalf("warm analyze status %d", status)
+	}
+	if warmResp.Found != coldResp.Found || warmResp.Objective != coldResp.Objective ||
+		warmResp.Support != coldResp.Support || len(warmResp.Groups) != len(coldResp.Groups) {
+		t.Fatalf("prewarmed answer diverged: %+v vs %+v", warmResp, coldResp)
+	}
+
+	// A published epoch after ingest must also prewarm and keep answering.
+	user, item := int32(0), int32(0)
+	resp, body := postJSON(t, warm, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{User: &user, Item: &item, Tags: []string{"gun"}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	status, after := analyze(t, warm, testQuery)
+	if status != http.StatusOK || after.Epoch == warmResp.Epoch {
+		t.Fatalf("post-ingest analyze status %d epoch %d (want new epoch)", status, after.Epoch)
+	}
+}

@@ -52,10 +52,19 @@ func (b *Bitmap) Clone() *Bitmap {
 	return out
 }
 
-// And intersects other into b in place.
+// And intersects other into b in place. When other covers a smaller
+// universe, the ids beyond it are absent from other by definition, so b's
+// tail is cleared rather than read out of range.
 func (b *Bitmap) And(other *Bitmap) {
-	for i := range b.words {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
 		b.words[i] &= other.words[i]
+	}
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
 	}
 }
 
@@ -122,6 +131,18 @@ func (b *Bitmap) Slice() []int {
 	return out
 }
 
+// CopyFrom overwrites b's contents with other's, keeping b's universe.
+// Words beyond the shorter operand are zeroed; set bits of other beyond b's
+// universe are dropped. It is the reset step of reusable-buffer pipelines
+// (incremental support unions, predicate evaluation) that would otherwise
+// Clone per use.
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	n := copy(b.words, other.words)
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+}
+
 // AndCount returns |b AND other| without materializing the intersection.
 func (b *Bitmap) AndCount(other *Bitmap) int {
 	n := len(b.words)
@@ -135,11 +156,67 @@ func (b *Bitmap) AndCount(other *Bitmap) int {
 	return c
 }
 
+// OrCount returns |b OR other| in one pass without materializing the
+// union — the two-set support check without a Clone.
+func (b *Bitmap) OrCount(other *Bitmap) int {
+	short, long := b.words, other.words
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	c := 0
+	for i, w := range short {
+		c += bits.OnesCount64(w | long[i])
+	}
+	for _, w := range long[len(short):] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionCountInto sets dst = b OR other and returns the resulting
+// cardinality, all in one pass with no allocation. dst must cover a
+// universe at least as large as both operands'; its tail words are zeroed,
+// so a reused buffer never leaks bits from a previous union. dst may alias
+// b or other (each word is read before it is written), which is how an
+// accumulator unions in place: acc.UnionCountInto(next, acc). It is the
+// push step of incremental support maintenance: each union level of a
+// depth-first search derives from its parent without a Clone.
+func (b *Bitmap) UnionCountInto(other, dst *Bitmap) int {
+	short, long := b.words, other.words
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	// No clamping: an undersized dst would silently drop bits and
+	// under-count support, so let the index below fail loudly instead.
+	c := 0
+	for i, w := range short {
+		u := w | long[i]
+		dst.words[i] = u
+		c += bits.OnesCount64(u)
+	}
+	for i := len(short); i < len(long); i++ {
+		w := long[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	for i := len(long); i < len(dst.words); i++ {
+		dst.words[i] = 0
+	}
+	return c
+}
+
 // UnionCount returns the cardinality of the union of the given bitmaps.
 // It implements group support: Support = |{r : exists g in G, r in g}|.
+// The one- and two-set cases — the bulk of support checks for small k —
+// avoid materializing anything.
 func UnionCount(maps []*Bitmap) int {
-	if len(maps) == 0 {
+	switch len(maps) {
+	case 0:
 		return 0
+	case 1:
+		return maps[0].Count()
+	case 2:
+		return maps[0].OrCount(maps[1])
 	}
 	u := maps[0].Clone()
 	for _, m := range maps[1:] {

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAndSmallerUniverse is the regression test for the out-of-range panic:
+// And with an operand over a smaller universe must clamp to the shorter
+// word slice and clear b's tail (those ids are absent from other), instead
+// of indexing past other's words.
+func TestAndSmallerUniverse(t *testing.T) {
+	b := NewBitmap(200)
+	for _, id := range []int{0, 5, 64, 130, 199} {
+		b.Set(id)
+	}
+	other := NewBitmap(10)
+	other.Set(0)
+	other.Set(5)
+	b.And(other) // panicked before the clamp
+	if got := b.Slice(); len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("And with smaller universe = %v, want [0 5]", got)
+	}
+	// Larger other: ids beyond b's universe cannot appear in b.
+	b2 := NewBitmap(10)
+	b2.Set(3)
+	big := NewBitmap(500)
+	big.Set(3)
+	big.Set(400)
+	b2.And(big)
+	if got := b2.Slice(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("And with larger universe = %v, want [3]", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := NewBitmap(100)
+	src.Set(1)
+	src.Set(99)
+	dst := NewBitmap(200)
+	dst.Set(150) // must be cleared: beyond src's words
+	dst.Set(2)   // must be cleared: overwritten by src's words
+	dst.CopyFrom(src)
+	if got := dst.Slice(); len(got) != 2 || got[0] != 1 || got[1] != 99 {
+		t.Fatalf("CopyFrom = %v, want [1 99]", got)
+	}
+	// Shrinking copy drops bits beyond dst's universe words.
+	small := NewBitmap(64)
+	small.Set(10)
+	big := NewBitmap(300)
+	big.Set(3)
+	big.Set(200)
+	small.CopyFrom(big)
+	if got := small.Slice(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("shrinking CopyFrom = %v, want [3]", got)
+	}
+}
+
+// TestUnionKernelsAgainstClone drives OrCount and UnionCountInto over
+// random bitmaps of mismatched universes and checks them against the
+// reference Clone+Or path, including reuse of a dirty destination buffer.
+func TestUnionKernelsAgainstClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dst := NewBitmap(512)
+	for trial := 0; trial < 200; trial++ {
+		na, nb := 1+rng.Intn(300), 1+rng.Intn(300)
+		a, b := NewBitmap(na), NewBitmap(nb)
+		for i := 0; i < na; i++ {
+			if rng.Intn(3) == 0 {
+				a.Set(i)
+			}
+		}
+		for i := 0; i < nb; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		ref := a.Clone()
+		ref.Or(b)
+		want := ref.Count()
+		if got := a.OrCount(b); got != want {
+			t.Fatalf("trial %d: OrCount = %d, want %d", trial, got, want)
+		}
+		if got := b.OrCount(a); got != want {
+			t.Fatalf("trial %d: OrCount reversed = %d, want %d", trial, got, want)
+		}
+		// Dirty the reusable destination to prove tail words are cleared.
+		dst.Set(511)
+		if got := a.UnionCountInto(b, dst); got != want {
+			t.Fatalf("trial %d: UnionCountInto = %d, want %d", trial, got, want)
+		}
+		if dst.Count() != want {
+			t.Fatalf("trial %d: dst holds %d bits, want %d", trial, dst.Count(), want)
+		}
+		for _, id := range ref.Slice() {
+			if !dst.Contains(id) {
+				t.Fatalf("trial %d: dst missing %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestUnionCountSmallCases(t *testing.T) {
+	a := NewBitmap(100)
+	b := NewBitmap(100)
+	c := NewBitmap(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	for i := 0; i < 100; i += 5 {
+		c.Set(i)
+	}
+	if got := UnionCount([]*Bitmap{a}); got != 50 {
+		t.Fatalf("UnionCount one = %d, want 50", got)
+	}
+	if got := UnionCount([]*Bitmap{a, b}); got != 67 {
+		t.Fatalf("UnionCount two = %d, want 67", got)
+	}
+	// inclusion-exclusion: 50+34+20 -17-10-7 +4 = 74
+	if got := UnionCount([]*Bitmap{a, b, c}); got != 74 {
+		t.Fatalf("UnionCount three = %d, want 74", got)
+	}
+}

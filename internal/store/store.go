@@ -258,29 +258,26 @@ func (s *Store) ParsePredicate(conds map[string]string) (Predicate, error) {
 
 // Eval returns the bitmap of tuple ids satisfying every term of p. The
 // result is a fresh bitmap the caller may mutate. An empty predicate matches
-// every tuple.
+// every tuple. Only the result is allocated: postings intersect directly
+// into it, with no per-term Clone+Grow intermediates.
 func (s *Store) Eval(p Predicate) *Bitmap {
+	acc := NewBitmap(s.n)
 	if len(p.Terms) == 0 {
-		all := NewBitmap(s.n)
 		for i := 0; i < s.n; i++ {
-			all.Set(i)
+			acc.Set(i)
 		}
-		return all
+		return acc
 	}
-	var acc *Bitmap
-	for _, t := range p.Terms {
+	for ti, t := range p.Terms {
 		bm, ok := s.postings[postingKey{t.Col.Side, t.Col.Index, t.Value}]
 		if !ok {
 			return NewBitmap(s.n)
 		}
-		if acc == nil {
-			acc = bm.Clone()
-			acc.Grow(s.n)
+		if ti == 0 {
+			acc.CopyFrom(bm)
 			continue
 		}
-		clone := bm.Clone()
-		clone.Grow(s.n)
-		acc.And(clone)
+		acc.And(bm)
 	}
 	return acc
 }
