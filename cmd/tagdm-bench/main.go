@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
-//	            [-json]
+//	            [-sparse] [-json]
 //
 // With -all (the default when no selector is given) every artifact is
 // produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"time"
 
 	"tagdm/internal/core"
 	"tagdm/internal/datagen"
 	"tagdm/internal/experiments"
+	"tagdm/internal/store"
 	"tagdm/internal/userstudy"
 )
 
@@ -123,11 +125,12 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 	transfer := flag.Bool("transfer", false, "run the attribute-transfer experiment")
 	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
+	sparse := flag.Bool("sparse", false, "run the sparse-corpus union-kernel sweep (dense vs compressed bitmaps)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
 	flag.Parse()
 
-	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep {
+	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*sparse {
 		*all = true
 	}
 
@@ -252,6 +255,90 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(rep.Render())
+	}
+	if *all || *sparse {
+		runSparse(emit)
+	}
+}
+
+// --- sparse-corpus union kernels ---
+
+// runSparse times OrCount and the DFS-shaped UnionCountInto chain on
+// synthetic sparse tuple sets over a 1M-id universe, dense words versus
+// container-compressed, and records density-sensitive numbers for the
+// performance trajectory (JSON rows carry sweep=density, variant=layout).
+// The fixture (universe, density table, seed, triple construction) must
+// stay in lockstep with BenchmarkSparseOrCount/UnionCountInto in the root
+// bench_test.go so this trajectory and `go test -bench BenchmarkSparse`
+// measure the same matrix.
+func runSparse(emit *jsonEmitter) {
+	const universe = 1 << 20
+	const reps = 64
+	densities := []struct {
+		name string
+		card int
+	}{
+		{"density=0.01pct", universe / 10000},
+		{"density=0.1pct", universe / 1000},
+		{"density=1pct", universe / 100},
+	}
+	if emit == nil {
+		fmt.Println("== Sparse-corpus union kernels: dense words vs compressed containers ==")
+		fmt.Printf("%-18s %-12s %-16s %10s\n", "density", "layout", "kernel", "micros/op")
+	}
+	for _, d := range densities {
+		for _, layout := range []string{"dense", "compressed"} {
+			rng := rand.New(rand.NewSource(11))
+			sets := make([][3]*store.Bitmap, 8)
+			for i := range sets {
+				for j := 0; j < 3; j++ {
+					bm := store.NewBitmap(universe)
+					for k := 0; k < d.card; k++ {
+						bm.Set(rng.Intn(universe))
+					}
+					if layout == "compressed" {
+						bm.ToCompressed()
+					}
+					sets[i][j] = bm
+				}
+			}
+			newBuf := store.NewBitmap
+			if layout == "compressed" {
+				newBuf = store.NewCompressedBitmap
+			}
+			u1, u2 := newBuf(universe), newBuf(universe)
+
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				m := sets[r%len(sets)]
+				_ = m[0].OrCount(m[1])
+			}
+			orPer := time.Since(start) / reps
+
+			start = time.Now()
+			for r := 0; r < reps; r++ {
+				m := sets[r%len(sets)]
+				_ = m[0].UnionCountInto(m[1], u1)
+				_ = u1.UnionCountInto(m[2], u2)
+			}
+			unionPer := time.Since(start) / reps
+
+			for _, row := range []struct {
+				kernel string
+				per    time.Duration
+			}{{"OrCount", orPer}, {"UnionCountInto", unionPer}} {
+				if emit != nil {
+					emit.record(benchRecord{Bench: "sparse-union", Sweep: d.name,
+						Variant: layout, Algorithm: row.kernel, Millis: millis(row.per)})
+					continue
+				}
+				fmt.Printf("%-18s %-12s %-16s %10.2f\n",
+					d.name, layout, row.kernel, float64(row.per)/1e3)
+			}
+		}
+	}
+	if emit == nil {
+		fmt.Println()
 	}
 }
 

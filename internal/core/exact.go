@@ -160,7 +160,10 @@ func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int) *
 		w.unions = make([]*store.Bitmap, kMax)
 		w.unionCnt = make([]int, kMax)
 		for d := range w.unions {
-			w.unions[d] = store.NewBitmap(e.Store.Len())
+			// Buffers follow the groups' layout: compressed levels keep
+			// union cost proportional to container occupancy on sparse
+			// corpora instead of O(universe/64) per pass.
+			w.unions[d] = unionBufferFor(e.Groups, e.Store.Len())
 		}
 	}
 	return w

@@ -123,6 +123,9 @@ func (e *Enumerator) FullyDescribed() []*Group {
 		for _, t := range tuples {
 			bm.Set(t)
 		}
+		// Group tuple sets are tiny relative to a large corpus — the
+		// sweet spot of the container-compressed layout.
+		bm.Optimize()
 		out = append(out, &Group{Pred: pred, Tuples: bm, Members: tuples})
 	}
 	sortGroups(s, out)
@@ -155,6 +158,7 @@ func (e *Enumerator) SingleAttribute() []*Group {
 			if len(members) < min {
 				continue
 			}
+			bm.Optimize()
 			out = append(out, &Group{Pred: pred, Tuples: bm, Members: members})
 		}
 	}
@@ -208,6 +212,7 @@ func (e *Enumerator) Describable(cols []store.Column) []*Group {
 		for _, t := range tuples {
 			bm.Set(t)
 		}
+		bm.Optimize()
 		out = append(out, &Group{Pred: pred, Tuples: bm, Members: tuples})
 	}
 	sortGroups(s, out)

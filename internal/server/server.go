@@ -321,6 +321,14 @@ type StatsResponse struct {
 		Actions   int64 `json:"actions"`
 		Snapshots int64 `json:"snapshots"`
 	} `json:"ingest"`
+
+	// Postings describes the published snapshot's posting-list layout:
+	// how many lists exist and how many use the container-compressed
+	// (roaring-style) representation picked at snapshot publication.
+	Postings struct {
+		Lists      int `json:"lists"`
+		Compressed int `json:"compressed"`
+	} `json:"postings"`
 }
 
 type errorResponse struct {
@@ -645,6 +653,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Ingest.Requests = s.metrics.ingestRequests.Load()
 	resp.Ingest.Actions = s.metrics.actionsIngested.Load()
 	resp.Ingest.Snapshots = s.metrics.snapshots.Load()
+	resp.Postings.Lists, resp.Postings.Compressed = snap.Store.CompressionStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -9,13 +9,30 @@ import "math/bits"
 
 const wordBits = 64
 
-// Bitmap is a fixed-universe bitset over tuple ids [0, n).
+// Bitmap is a bitset over tuple ids [0, n) with two interchangeable
+// physical layouts behind one kernel surface:
+//
+//   - dense: a flat word array, O(universe/64) per kernel pass — the right
+//     shape when set bits are a sizable fraction of the universe;
+//   - compressed: roaring-style containers per 2^16-id chunk (see
+//     compressed.go), kernel cost proportional to container occupancy — the
+//     right shape for sparse posting lists and small group tuple sets over
+//     large corpora.
+//
+// All kernels accept any mix of layouts on their operands; results are
+// identical either way (the property tests in compressed_test.go pin this).
+// Representation is chosen per bitmap via Optimize/ToCompressed/ToDense.
 type Bitmap struct {
 	words []uint64
 	n     int
+
+	// compressed selects the container layout; words is nil and ctrs holds
+	// the chunk containers sorted by key.
+	compressed bool
+	ctrs       []container
 }
 
-// NewBitmap returns an empty bitmap over a universe of n tuple ids.
+// NewBitmap returns an empty dense bitmap over a universe of n tuple ids.
 func NewBitmap(n int) *Bitmap {
 	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
@@ -25,6 +42,10 @@ func (b *Bitmap) Universe() int { return b.n }
 
 // Set marks id as present.
 func (b *Bitmap) Set(id int) {
+	if b.compressed {
+		b.setCompressed(id)
+		return
+	}
 	b.words[id/wordBits] |= 1 << (uint(id) % wordBits)
 }
 
@@ -33,11 +54,21 @@ func (b *Bitmap) Contains(id int) bool {
 	if id < 0 || id >= b.n {
 		return false
 	}
+	if b.compressed {
+		return b.containsCompressed(id)
+	}
 	return b.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
 }
 
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int {
+	if b.compressed {
+		c := 0
+		for i := range b.ctrs {
+			c += int(b.ctrs[i].card)
+		}
+		return c
+	}
 	c := 0
 	for _, w := range b.words {
 		c += bits.OnesCount64(w)
@@ -45,8 +76,15 @@ func (b *Bitmap) Count() int {
 	return c
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy in the same representation.
 func (b *Bitmap) Clone() *Bitmap {
+	if b.compressed {
+		out := &Bitmap{n: b.n, compressed: true, ctrs: make([]container, len(b.ctrs))}
+		for i := range b.ctrs {
+			copyCtrInto(&out.ctrs[i], &b.ctrs[i])
+		}
+		return out
+	}
 	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
 	copy(out.words, b.words)
 	return out
@@ -56,6 +94,10 @@ func (b *Bitmap) Clone() *Bitmap {
 // universe, the ids beyond it are absent from other by definition, so b's
 // tail is cleared rather than read out of range.
 func (b *Bitmap) And(other *Bitmap) {
+	if b.compressed || other.compressed {
+		b.andHybrid(other)
+		return
+	}
 	n := len(b.words)
 	if len(other.words) < n {
 		n = len(other.words)
@@ -69,12 +111,20 @@ func (b *Bitmap) And(other *Bitmap) {
 }
 
 // Or unions other into b in place. If other covers a larger universe, b
-// grows to match (supports incremental appends).
+// grows to match (supports incremental appends) — including when the larger
+// universe still fits b's existing word count, so Universe and Contains
+// never go stale after a small append (the 60 -> 64 id case).
 func (b *Bitmap) Or(other *Bitmap) {
+	if b.compressed || other.compressed {
+		b.orHybrid(other)
+		return
+	}
 	if len(other.words) > len(b.words) {
 		grown := make([]uint64, len(other.words))
 		copy(grown, b.words)
 		b.words = grown
+	}
+	if other.n > b.n {
 		b.n = other.n
 	}
 	for i, w := range other.words {
@@ -84,6 +134,10 @@ func (b *Bitmap) Or(other *Bitmap) {
 
 // AndNot removes other's bits from b in place.
 func (b *Bitmap) AndNot(other *Bitmap) {
+	if b.compressed || other.compressed {
+		b.andNotHybrid(other)
+		return
+	}
 	n := len(b.words)
 	if len(other.words) < n {
 		n = len(other.words)
@@ -93,16 +147,19 @@ func (b *Bitmap) AndNot(other *Bitmap) {
 	}
 }
 
-// Grow extends the universe to at least n ids, preserving contents.
+// Grow extends the universe to at least n ids, preserving contents. A
+// compressed bitmap grows for free: containers only exist where bits do.
 func (b *Bitmap) Grow(n int) {
 	if n <= b.n {
 		return
 	}
-	need := (n + wordBits - 1) / wordBits
-	if need > len(b.words) {
-		grown := make([]uint64, need)
-		copy(grown, b.words)
-		b.words = grown
+	if !b.compressed {
+		need := (n + wordBits - 1) / wordBits
+		if need > len(b.words) {
+			grown := make([]uint64, need)
+			copy(grown, b.words)
+			b.words = grown
+		}
 	}
 	b.n = n
 }
@@ -110,6 +167,14 @@ func (b *Bitmap) Grow(n int) {
 // ForEach calls fn for every set id in ascending order. Iteration stops if
 // fn returns false.
 func (b *Bitmap) ForEach(fn func(id int) bool) {
+	if b.compressed {
+		for i := range b.ctrs {
+			if !b.ctrs[i].forEach(b.ctrs[i].base(), fn) {
+				return
+			}
+		}
+		return
+	}
 	for wi, w := range b.words {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
@@ -131,20 +196,42 @@ func (b *Bitmap) Slice() []int {
 	return out
 }
 
-// CopyFrom overwrites b's contents with other's, keeping b's universe.
-// Words beyond the shorter operand are zeroed; set bits of other beyond b's
-// universe are dropped. It is the reset step of reusable-buffer pipelines
-// (incremental support unions, predicate evaluation) that would otherwise
-// Clone per use.
+// CopyFrom overwrites b's contents with other's, keeping b's universe and
+// representation. Set bits of other beyond b's universe are dropped — at
+// exact id granularity, not word granularity, so Count never reports ids
+// outside [0, Universe()). It is the reset step of reusable-buffer
+// pipelines (incremental support unions, predicate evaluation) that would
+// otherwise Clone per use.
 func (b *Bitmap) CopyFrom(other *Bitmap) {
+	if b.compressed || other.compressed {
+		b.copyFromHybrid(other)
+		return
+	}
 	n := copy(b.words, other.words)
 	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+	b.clampTail()
+}
+
+// clampTail zeroes any dense bits at positions >= b.n, restoring the
+// no-ids-beyond-universe invariant after a word-granular copy.
+func (b *Bitmap) clampTail() {
+	w := b.n / wordBits
+	if w >= len(b.words) {
+		return
+	}
+	b.words[w] &= (1 << uint(b.n%wordBits)) - 1
+	for i := w + 1; i < len(b.words); i++ {
 		b.words[i] = 0
 	}
 }
 
 // AndCount returns |b AND other| without materializing the intersection.
 func (b *Bitmap) AndCount(other *Bitmap) int {
+	if b.compressed || other.compressed {
+		return andCountHybrid(b, other)
+	}
 	n := len(b.words)
 	if len(other.words) < n {
 		n = len(other.words)
@@ -157,8 +244,13 @@ func (b *Bitmap) AndCount(other *Bitmap) int {
 }
 
 // OrCount returns |b OR other| in one pass without materializing the
-// union — the two-set support check without a Clone.
+// union — the two-set support check without a Clone. On two compressed
+// bitmaps the pass visits containers only: chunks present on one side
+// contribute their cached cardinality without being scanned.
 func (b *Bitmap) OrCount(other *Bitmap) int {
+	if b.compressed || other.compressed {
+		return orCountHybrid(b, other)
+	}
 	short, long := b.words, other.words
 	if len(short) > len(long) {
 		short, long = long, short
@@ -182,6 +274,9 @@ func (b *Bitmap) OrCount(other *Bitmap) int {
 // push step of incremental support maintenance: each union level of a
 // depth-first search derives from its parent without a Clone.
 func (b *Bitmap) UnionCountInto(other, dst *Bitmap) int {
+	if b.compressed || other.compressed || dst.compressed {
+		return unionCountIntoHybrid(b, other, dst)
+	}
 	short, long := b.words, other.words
 	if len(short) > len(long) {
 		short, long = long, short

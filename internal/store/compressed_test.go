@@ -1,0 +1,377 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestOrStaleUniverseRegression pins the headline bugfix: unioning in a
+// bitmap whose larger universe still fits the receiver's word count (60 ->
+// 64 ids, same single word) must grow Universe, or Contains denies ids
+// whose bits are set — silently corrupting incremental group maintenance
+// after small appends.
+func TestOrStaleUniverseRegression(t *testing.T) {
+	b := NewBitmap(60)
+	b.Set(3)
+	other := NewBitmap(64)
+	other.Set(63)
+	b.Or(other)
+	if got := b.Universe(); got != 64 {
+		t.Fatalf("Universe after same-word-count Or = %d, want 64", got)
+	}
+	if !b.Contains(63) {
+		t.Fatal("Contains(63) = false after Or set bit 63")
+	}
+	if got := b.Slice(); !reflect.DeepEqual(got, []int{3, 63}) {
+		t.Fatalf("Slice = %v, want [3 63]", got)
+	}
+
+	// The audited Grow callers (incremental.Maintainer.Insert grows group
+	// bitmaps to store.Len(); Store.posting grows postings to n+1) never
+	// relied on the old stale-n behavior: both grow before Set and never
+	// union a larger universe into a smaller one. Or after Grow must agree
+	// with Grow-then-Or.
+	g := NewBitmap(60)
+	g.Set(3)
+	g.Grow(64)
+	g.Or(other)
+	if g.Universe() != b.Universe() || g.Count() != b.Count() {
+		t.Fatalf("Grow-then-Or (%d ids, universe %d) disagrees with Or growth (%d, %d)",
+			g.Count(), g.Universe(), b.Count(), b.Universe())
+	}
+
+	// Compressed receivers take the hybrid path; same contract.
+	c := NewBitmap(60)
+	c.Set(3)
+	c.ToCompressed()
+	c.Or(other)
+	if c.Universe() != 64 || !c.Contains(63) {
+		t.Fatalf("compressed Or: universe %d contains(63)=%v, want 64/true",
+			c.Universe(), c.Contains(63))
+	}
+}
+
+// TestUnionCountMixedUniverses pins the spec UnionCount inherits for >2
+// maps when maps[0] has the smallest universe: Clone+Or growth must
+// preserve every operand's bits, whatever order universes come in.
+func TestUnionCountMixedUniverses(t *testing.T) {
+	build := func(n int, ids ...int) *Bitmap {
+		b := NewBitmap(n)
+		for _, id := range ids {
+			b.Set(id)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		maps []*Bitmap
+		want int
+	}{
+		{"first smallest, same word", []*Bitmap{
+			build(10, 1, 2), build(40, 30), build(64, 63),
+		}, 4},
+		{"first smallest, more words", []*Bitmap{
+			build(10, 1), build(200, 150, 199), build(500, 1, 450),
+		}, 4},
+		{"descending universes", []*Bitmap{
+			build(500, 450), build(200, 150), build(10, 1),
+		}, 3},
+		{"middle smallest with overlap", []*Bitmap{
+			build(300, 10, 20), build(15, 10, 14), build(300, 20, 299),
+		}, 4},
+		{"four maps interleaved", []*Bitmap{
+			build(64, 0), build(130, 128), build(65, 64), build(700, 650),
+		}, 4},
+	}
+	for _, tc := range cases {
+		if got := UnionCount(tc.maps); got != tc.want {
+			t.Errorf("%s: UnionCount = %d, want %d", tc.name, got, tc.want)
+		}
+		// The compressed implementation inherits the same spec.
+		comp := make([]*Bitmap, len(tc.maps))
+		for i, m := range tc.maps {
+			comp[i] = m.Clone().ToCompressed()
+		}
+		if got := UnionCount(comp); got != tc.want {
+			t.Errorf("%s (compressed): UnionCount = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// randomBitmap fills a dense bitmap over universe n at roughly the given
+// density, returning it plus its id set.
+func randomBitmap(rng *rand.Rand, n int, density float64) *Bitmap {
+	b := NewBitmap(n)
+	target := int(float64(n) * density)
+	if target < 1 {
+		target = 1
+	}
+	for i := 0; i < target; i++ {
+		b.Set(rng.Intn(n))
+	}
+	return b
+}
+
+// reprs returns the four representation combinations of a pair: the
+// dense/dense pair is the reference the three others must match.
+func reprs(a, b *Bitmap) [][2]*Bitmap {
+	return [][2]*Bitmap{
+		{a.Clone(), b.Clone()},
+		{a.Clone().ToCompressed(), b.Clone()},
+		{a.Clone(), b.Clone().ToCompressed()},
+		{a.Clone().ToCompressed(), b.Clone().ToCompressed()},
+	}
+}
+
+// TestKernelEquivalenceRandomPairs is the property-style kernel audit:
+// every kernel, on random (dense, compressed) pairs with mismatched
+// universes, must produce results identical to the dense/dense reference —
+// including Or's universe growth and CopyFrom's exact-universe clamp.
+func TestKernelEquivalenceRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	densities := []float64{0.0005, 0.01, 0.2, 0.9}
+	for trial := 0; trial < 60; trial++ {
+		na := 1 + rng.Intn(200_000)
+		nb := 1 + rng.Intn(200_000)
+		if trial%4 == 0 {
+			nb = na // same-universe slice of the space
+		}
+		a := randomBitmap(rng, na, densities[trial%len(densities)])
+		b := randomBitmap(rng, nb, densities[(trial+1)%len(densities)])
+		nmax := na
+		if nb > nmax {
+			nmax = nb
+		}
+
+		pairs := reprs(a, b)
+		ref := pairs[0]
+		wantOr := ref[0].OrCount(ref[1])
+		wantAnd := ref[0].AndCount(ref[1])
+		refUnion := ref[0].Clone()
+		refUnion.Or(ref[1])
+
+		for pi, p := range pairs[1:] {
+			x, y := p[0], p[1]
+			if got := x.Count(); got != a.Count() {
+				t.Fatalf("trial %d repr %d: Count = %d, want %d", trial, pi, got, a.Count())
+			}
+			if !reflect.DeepEqual(x.Slice(), a.Slice()) {
+				t.Fatalf("trial %d repr %d: Slice mismatch", trial, pi)
+			}
+			for probe := 0; probe < 50; probe++ {
+				id := rng.Intn(nmax + 10)
+				if got, want := x.Contains(id), a.Contains(id); got != want {
+					t.Fatalf("trial %d repr %d: Contains(%d) = %v, want %v", trial, pi, id, got, want)
+				}
+			}
+			if got := x.OrCount(y); got != wantOr {
+				t.Fatalf("trial %d repr %d: OrCount = %d, want %d", trial, pi, got, wantOr)
+			}
+			if got := y.OrCount(x); got != wantOr {
+				t.Fatalf("trial %d repr %d: OrCount reversed = %d, want %d", trial, pi, got, wantOr)
+			}
+			if got := x.AndCount(y); got != wantAnd {
+				t.Fatalf("trial %d repr %d: AndCount = %d, want %d", trial, pi, got, wantAnd)
+			}
+			if got := y.AndCount(x); got != wantAnd {
+				t.Fatalf("trial %d repr %d: AndCount reversed = %d, want %d", trial, pi, got, wantAnd)
+			}
+
+			// UnionCountInto, into a dst of each representation, including
+			// the in-place accumulator alias.
+			for _, dst := range []*Bitmap{NewBitmap(nmax + 7), NewCompressedBitmap(nmax + 7)} {
+				dst.Set(1) // stale content a correct kernel must clear
+				if got := x.UnionCountInto(y, dst); got != wantOr {
+					t.Fatalf("trial %d repr %d: UnionCountInto = %d, want %d", trial, pi, got, wantOr)
+				}
+				if !reflect.DeepEqual(dst.Slice(), refUnion.Slice()) {
+					t.Fatalf("trial %d repr %d: UnionCountInto materialized wrong union", trial, pi)
+				}
+				if got := dst.UnionCountInto(y, dst); got != wantOr {
+					t.Fatalf("trial %d repr %d: aliased UnionCountInto = %d, want %d", trial, pi, got, wantOr)
+				}
+			}
+
+			// In-place mutators, each on fresh clones against the dense
+			// reference result.
+			or := x.Clone()
+			or.Or(y)
+			if or.Universe() != refUnion.Universe() {
+				t.Fatalf("trial %d repr %d: Or universe = %d, want %d",
+					trial, pi, or.Universe(), refUnion.Universe())
+			}
+			if !reflect.DeepEqual(or.Slice(), refUnion.Slice()) {
+				t.Fatalf("trial %d repr %d: Or mismatch", trial, pi)
+			}
+
+			and := x.Clone()
+			and.And(y)
+			refAnd := ref[0].Clone()
+			refAnd.And(ref[1])
+			if !reflect.DeepEqual(and.Slice(), refAnd.Slice()) {
+				t.Fatalf("trial %d repr %d: And mismatch", trial, pi)
+			}
+
+			andNot := x.Clone()
+			andNot.AndNot(y)
+			refAndNot := ref[0].Clone()
+			refAndNot.AndNot(ref[1])
+			if !reflect.DeepEqual(andNot.Slice(), refAndNot.Slice()) {
+				t.Fatalf("trial %d repr %d: AndNot mismatch", trial, pi)
+			}
+
+			cp := x.Clone()
+			cp.CopyFrom(y)
+			refCp := ref[0].Clone()
+			refCp.CopyFrom(ref[1])
+			if cp.Universe() != refCp.Universe() || !reflect.DeepEqual(cp.Slice(), refCp.Slice()) {
+				t.Fatalf("trial %d repr %d: CopyFrom mismatch", trial, pi)
+			}
+		}
+	}
+}
+
+// TestCopyFromClampsToExactUniverse pins the documented CopyFrom contract
+// at id granularity: bits of other beyond b's universe are dropped even
+// when they land inside b's final word.
+func TestCopyFromClampsToExactUniverse(t *testing.T) {
+	other := NewBitmap(300)
+	other.Set(3)
+	other.Set(62)  // inside b's word count but beyond its universe
+	other.Set(290) // beyond b's word count
+	for _, compress := range []bool{false, true} {
+		b := NewBitmap(60)
+		if compress {
+			b.ToCompressed()
+		}
+		b.CopyFrom(other)
+		if got := b.Slice(); !reflect.DeepEqual(got, []int{3}) {
+			t.Fatalf("compress=%v: CopyFrom = %v, want [3]", compress, got)
+		}
+		if got := b.Count(); got != 1 {
+			t.Fatalf("compress=%v: Count after CopyFrom = %d, want 1", compress, got)
+		}
+	}
+}
+
+// TestContainerPromotionDemotion walks one chunk across the array/word
+// boundary in both directions and checks the layout follows.
+func TestContainerPromotionDemotion(t *testing.T) {
+	b := NewCompressedBitmap(chunkSize)
+	for i := 0; i < arrMax; i++ {
+		b.Set(i * 2)
+	}
+	if len(b.ctrs) != 1 || !b.ctrs[0].isArr {
+		t.Fatalf("at arrMax ids the container must still be an array")
+	}
+	b.Set(arrMax * 2) // one past the ceiling: promote
+	if b.ctrs[0].isArr {
+		t.Fatal("container must promote to words past arrMax ids")
+	}
+	if got := b.Count(); got != arrMax+1 {
+		t.Fatalf("Count after promotion = %d, want %d", got, arrMax+1)
+	}
+
+	// Intersect away most of the chunk: demotion back to an array.
+	keep := NewBitmap(chunkSize)
+	for i := 0; i < 100; i++ {
+		keep.Set(i * 2)
+	}
+	b.And(keep.Clone().ToCompressed())
+	if len(b.ctrs) != 1 || !b.ctrs[0].isArr {
+		t.Fatal("container must demote to an array once drained")
+	}
+	if got := b.Count(); got != 100 {
+		t.Fatalf("Count after demotion = %d, want 100", got)
+	}
+
+	// Draining a chunk entirely must drop its container.
+	b.And(NewCompressedBitmap(chunkSize))
+	if len(b.ctrs) != 0 || b.Count() != 0 {
+		t.Fatalf("empty intersection left %d containers, %d ids", len(b.ctrs), b.Count())
+	}
+}
+
+// TestStoreEvalWithCompressedPostings forces the compressed layout onto
+// every posting list of a small store and demands identical predicate
+// evaluation, and that incremental Append (Grow+Set on a compressed
+// bitmap) keeps maintaining them.
+func TestStoreEvalWithCompressedPostings(t *testing.T) {
+	d, s := buildTestStore(t)
+	preds := []map[string]string{
+		{"gender": "male"},
+		{"gender": "male", "genre": "action"},
+		{"age": "teen", "director": "spielberg"},
+		{"genre": "comedy"},
+	}
+	type want struct {
+		ids   []int
+		count int
+	}
+	wants := make([]want, len(preds))
+	for i, conds := range preds {
+		p, err := s.ParsePredicate(conds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want{ids: s.Eval(p).Slice(), count: s.Count(p)}
+	}
+	s.ForceCompression(true)
+	if lists, compressed := s.CompressionStats(); compressed != lists || lists == 0 {
+		t.Fatalf("ForceCompression left %d/%d lists compressed", compressed, lists)
+	}
+	for i, conds := range preds {
+		p, err := s.ParsePredicate(conds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Eval(p).Slice(); !reflect.DeepEqual(got, wants[i].ids) {
+			t.Fatalf("compressed Eval(%v) = %v, want %v", conds, got, wants[i].ids)
+		}
+		if got := s.Count(p); got != wants[i].count {
+			t.Fatalf("compressed Count(%v) = %d, want %d", conds, got, wants[i].count)
+		}
+	}
+	// Appends must keep maintaining compressed posting lists in place.
+	before := s.Len()
+	if err := s.Append(d, d.Actions[0]); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.ParsePredicate(map[string]string{"gender": "male"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := s.Eval(p)
+	if !bm.Contains(before) {
+		t.Fatalf("appended tuple %d missing from compressed posting evaluation", before)
+	}
+}
+
+// TestOptimizePolicy checks the build-time representation policy: large
+// sparse universes compress, small or dense ones stay flat.
+func TestOptimizePolicy(t *testing.T) {
+	sparse := NewBitmap(1 << 18)
+	for i := 0; i < 100; i++ {
+		sparse.Set(i * 977)
+	}
+	if !sparse.Optimize().IsCompressed() {
+		t.Fatal("sparse bitmap over a large universe must compress")
+	}
+	small := NewBitmap(1000)
+	small.Set(1)
+	if small.Optimize().IsCompressed() {
+		t.Fatal("small universe must stay dense")
+	}
+	dense := NewBitmap(1 << 18)
+	for i := 0; i < 1<<17; i++ {
+		dense.Set(i)
+	}
+	if dense.Optimize().IsCompressed() {
+		t.Fatal("dense bitmap must stay dense")
+	}
+	// Optimize is an involution-safe round trip: contents survive.
+	if got := sparse.ToDense().Count(); got != 100 {
+		t.Fatalf("round trip lost ids: %d, want 100", got)
+	}
+}
