@@ -426,6 +426,21 @@ func BenchmarkExactSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkExactSerialNoPruning measures the retained full-enumeration
+// oracle, so the trajectory records the branch-and-bound speedup as the
+// Serial/SerialNoPruning ratio rather than losing the baseline.
+func BenchmarkExactSerialNoPruning(b *testing.B) {
+	_, ex := benchWorld(b)
+	st, _ := benchWorld(b)
+	spec := benchSpec(b, st, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Exact(spec, core.ExactOptions{DisablePruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkExactParallel(b *testing.B) {
 	_, ex := benchWorld(b)
 	st, _ := benchWorld(b)

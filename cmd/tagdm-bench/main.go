@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
-//	            [-sparse] [-json]
+//	            [-bnb] [-sparse] [-json]
 //
 // With -all (the default when no selector is given) every artifact is
 // produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
@@ -55,8 +55,11 @@ type benchRecord struct {
 	// Quality is present where the underlying run has a quality axis —
 	// pointers, not omitempty, so a measured 0.0 still appears.
 	Quality *float64 `json:"quality,omitempty"`
-	// Candidates is the Exact enumeration size (k-sweep records only).
+	// Candidates is the Exact enumeration size (k-sweep records only) or
+	// the examined-candidate count (bnb records).
 	Candidates int64 `json:"candidates,omitempty"`
+	// Pruned is the branch-and-bound pruned-candidate count (bnb records).
+	Pruned int64 `json:"pruned,omitempty"`
 	// Found is present where the underlying run tracks feasibility
 	// (figures and ablations); k-sweep rows measure time only.
 	Found *bool `json:"found,omitempty"`
@@ -105,6 +108,19 @@ func (e *jsonEmitter) ablationTable(t experiments.AblationTable) {
 	}
 }
 
+func (e *jsonEmitter) bnbTable(t experiments.BnBTable) {
+	for _, r := range t.Rows {
+		algo := "Exact"
+		if r.Parallel {
+			algo = "Exact-parallel"
+		}
+		found := r.Found
+		e.record(benchRecord{Bench: "bnb", Problem: r.Problem, Algorithm: algo,
+			Variant: r.Variant, Millis: millis(r.Elapsed),
+			Candidates: r.Examined, Pruned: r.Pruned, Found: &found})
+	}
+}
+
 func (e *jsonEmitter) ksweepTable(t experiments.KSweepTable) {
 	for _, r := range t.Rows {
 		e.record(benchRecord{Bench: "ksweep", Algorithm: "Exact", K: r.K,
@@ -125,12 +141,13 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablation sweeps")
 	transfer := flag.Bool("transfer", false, "run the attribute-transfer experiment")
 	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
+	bnb := flag.Bool("bnb", false, "run the Exact branch-and-bound pruning sweep (pruning on vs off)")
 	sparse := flag.Bool("sparse", false, "run the sparse-corpus union-kernel sweep (dense vs compressed bitmaps)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
 	flag.Parse()
 
-	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*sparse {
+	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse {
 		*all = true
 	}
 
@@ -165,7 +182,7 @@ func main() {
 		return
 	}
 
-	needSetup := *all || *ablation || *ksweep || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
+	needSetup := *all || *ablation || *ksweep || *bnb || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
 	var st *experiments.Setup
 	if needSetup {
 		fmt.Fprintf(os.Stderr, "building %s pipeline (datagen + LDA)...\n", *scale)
@@ -234,6 +251,17 @@ func main() {
 		}
 		if emit != nil {
 			emit.ablationTable(tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
+	}
+	if *all || *bnb {
+		tab, err := experiments.BnBSweep(st, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if emit != nil {
+			emit.bnbTable(tab)
 		} else {
 			fmt.Println(tab.Render())
 		}

@@ -208,8 +208,17 @@ type Result struct {
 	// Elapsed is the wall-clock runtime of the run.
 	Elapsed time.Duration
 	// CandidatesExamined counts candidate sets (Exact) or buckets (LSH) or
-	// greedy adds (FDP) evaluated, for reporting.
+	// greedy adds (FDP) evaluated, for reporting. For Exact it counts leaves
+	// the enumeration actually visited: with branch-and-bound pruning on,
+	// CandidatesExamined + CandidatesPruned equals the full enumeration size
+	// (the count a pruning-disabled run examines).
 	CandidatesExamined int64
+	// CandidatesPruned counts candidate sets skipped by branch-and-bound
+	// subtree cuts (Exact only; always 0 for the approximate algorithms and
+	// for pruning-disabled runs). Pruned candidates are reported separately
+	// from examined ones — they were proven unable to beat the incumbent,
+	// never evaluated.
+	CandidatesPruned int64
 }
 
 // Describe renders the result's groups through the store dictionaries.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -25,6 +26,14 @@ type ExactOptions struct {
 	// element. The result is identical to the serial run (ties broken by
 	// lexicographically smallest candidate).
 	Parallel bool
+	// DisablePruning turns off the branch-and-bound subtree cuts and
+	// enumerates every candidate, as the pre-pruning baseline did. Pruning
+	// is on by default; the disabled path is retained as the oracle the
+	// property tests compare against. Either way the returned result is
+	// identical — pruning only skips candidates that provably cannot beat
+	// the incumbent — but CandidatesExamined/CandidatesPruned split
+	// differently (see Result).
+	DisablePruning bool
 }
 
 // Exact enumerates every candidate set of size KLo..KHi over the engine's
@@ -42,6 +51,15 @@ type ExactOptions struct {
 // ConstraintsSatisfied (for k up to 3, the paper's setting, scores are
 // bit-for-bit equal; beyond that the same pair values are summed in a
 // different association order).
+//
+// On top of the incremental scoring, the DFS applies admissible
+// branch-and-bound pruning (on by default; ExactOptions.DisablePruning
+// restores the full enumeration): per-objective max-row vectors cached on
+// the pair matrices upper-bound the pair-sum of any completion of a partial
+// candidate, and subtrees whose bound cannot strictly beat the incumbent
+// are cut wholesale. Pruning never changes Found, the argmax set, Objective
+// or Support — only how the enumeration size splits between
+// CandidatesExamined and CandidatesPruned.
 func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -72,14 +90,16 @@ func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 	// keep all mutable DFS state private.
 	sc := e.scorer(spec)
 	res := Result{Algorithm: "Exact"}
+	prune := !opts.DisablePruning
 	if opts.Parallel {
-		e.exactParallel(spec, sc, &res)
+		e.exactParallel(spec, sc, prune, &res)
 	} else {
-		w := newExactWorker(e, spec, sc, 0)
+		w := newExactWorker(e, spec, sc, 0, prune)
 		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 			w.enumerate(0, k, 1)
 		}
 		res.CandidatesExamined = w.examined
+		res.CandidatesPruned = w.pruned
 		res.Found = w.found
 		res.Groups = w.best
 	}
@@ -109,6 +129,18 @@ type exactWorker struct {
 	objMats []*mining.PairMatrix
 	conMats []*mining.PairMatrix
 
+	// Branch-and-bound state. objMaxRows[o][i] is the largest objective-o
+	// pair score group i attains against any other group; objMaxPair[o] the
+	// matrix-wide maximum (both alias the shared matrices' cached bound
+	// vectors). maxSums[o][d] accumulates max rows over ids[:d+1] like the
+	// pair-sum stacks, so the upper bound on any completion is O(objectives)
+	// at every node. prune gates the whole mechanism (ExactOptions
+	// .DisablePruning turns it off).
+	prune      bool
+	objMaxRows [][]float64
+	objMaxPair []float64
+	maxSums    [][]float64
+
 	depth    int
 	ids      []int
 	objSums  [][]float64 // objSums[o][d]: pair-sum of objective o over ids[:d+1]
@@ -128,13 +160,14 @@ type exactWorker struct {
 	bestScore float64
 	found     bool
 	examined  int64
+	pruned    int64
 	offset    int
 }
 
 // newExactWorker builds one worker's mutable DFS state over the scorer's
 // shared immutable matrices (sc's own scratch-mutating methods are never
 // called here).
-func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int) *exactWorker {
+func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int, prune bool) *exactWorker {
 	kMax := spec.KHi
 	if n := len(e.Groups); kMax > n {
 		kMax = n
@@ -144,11 +177,19 @@ func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int) *
 		spec:     spec,
 		objMats:  sc.objMats,
 		conMats:  sc.conMats,
+		prune:    prune,
 		offset:   offset,
 		ids:      make([]int, kMax),
 		objSums:  make([][]float64, len(sc.objMats)),
 		conSums:  make([][]float64, len(sc.conMats)),
 		sizeSums: make([]int, kMax),
+	}
+	if prune {
+		w.objMaxRows, w.objMaxPair = sc.objectiveBounds()
+		w.maxSums = make([][]float64, len(sc.objMats))
+		for oi := range w.maxSums {
+			w.maxSums[oi] = make([]float64, kMax)
+		}
 	}
 	for oi := range w.objSums {
 		w.objSums[oi] = make([]float64, kMax)
@@ -193,6 +234,15 @@ func (w *exactWorker) push(i int) {
 			sum += m.At(x, i)
 		}
 		w.conSums[ci][d] = sum
+	}
+	if w.prune {
+		for oi, rows := range w.objMaxRows {
+			sum := rows[i]
+			if d > 0 {
+				sum += w.maxSums[oi][d-1]
+			}
+			w.maxSums[oi][d] = sum
+		}
 	}
 	g := w.engine.Groups[i]
 	if d > 0 {
@@ -264,6 +314,38 @@ func (w *exactWorker) leafObjective() float64 {
 	return total
 }
 
+// cannotBeat reports whether no completion of the current partial
+// candidate — its depth groups plus r more, drawn from anywhere — can
+// strictly beat the incumbent. The bound is admissible: each of the
+// r*(depth) cross pairs a future member forms with a current member x is at
+// most maxRow[x] (accumulated in maxSums), and each of the r*(r-1)/2 pairs
+// among future members is at most the matrix-wide maximum, so the bounded
+// pair-sum dominates every reachable leaf's. A small relative slack absorbs
+// the floating-point difference between this bound's association order and
+// the leaf evaluation's (the accumulated rounding is ~1e-15 relative; any
+// two candidates whose true scores differ by less than the slack tie for
+// the enumeration's purposes anyway, and ties never displace the incumbent
+// — the DFS keeps the first maximum, so cutting a tying subtree leaves the
+// argmax untouched). Constraints are deliberately not consulted: the bound
+// must hold for any completion, feasible or not.
+func (w *exactWorker) cannotBeat(r int) bool {
+	if !w.found {
+		return false
+	}
+	d := w.depth
+	full := d + r
+	pairs := float64(full * (full - 1) / 2)
+	futureR := float64(r)
+	futurePairs := float64(r * (r - 1) / 2)
+	var bound float64
+	for oi, o := range w.spec.Objectives {
+		s := w.objSums[oi][d-1] + futureR*w.maxSums[oi][d-1] + futurePairs*w.objMaxPair[oi]
+		bound += o.Weight * (s / pairs)
+	}
+	slack := 1e-12 * (1 + math.Abs(bound) + math.Abs(w.bestScore))
+	return bound+slack <= w.bestScore
+}
+
 // enumerate recursively extends the worker's candidate set; stride shards
 // only the outermost level (depth == full k).
 func (w *exactWorker) enumerate(startIdx, k, stride int) {
@@ -293,6 +375,16 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 	}
 	for i := first; i <= n-k; i += step {
 		w.push(i)
+		// Branch-and-bound: if even the best conceivable completion of this
+		// prefix cannot beat the incumbent, cut the whole subtree — its
+		// binomial(n-i-1, k-1) candidates are counted as pruned, never
+		// examined. Leaves (k == 1 pushes the last member) are evaluated
+		// unconditionally, matching the naive enumeration's bookkeeping.
+		if w.prune && k > 1 && w.cannotBeat(k-1) {
+			w.pruned += binomial(n-i-1, k-1)
+			w.pop()
+			continue
+		}
 		w.enumerate(i+1, k-1, 1)
 		w.pop()
 	}
@@ -302,7 +394,7 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 // deterministically: highest score wins, ties go to the candidate that the
 // serial enumeration would have met first (smaller size, then smaller
 // group IDs).
-func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, res *Result) {
+func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, prune bool, res *Result) {
 	n := len(e.Groups)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -311,13 +403,18 @@ func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, res *Result) 
 	if workers < 1 {
 		workers = 1
 	}
+	if prune {
+		// Build the shared bound vectors once, before the fan-out, so the
+		// workers' racing first reads don't each scan the matrices.
+		sc.objectiveBounds()
+	}
 	results := make([]*exactWorker, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := newExactWorker(e, spec, sc, wi)
+			w := newExactWorker(e, spec, sc, wi, prune)
 			results[wi] = w
 			for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 				w.enumerate(0, k, workers)
@@ -327,6 +424,7 @@ func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, res *Result) 
 	wg.Wait()
 	for _, w := range results {
 		res.CandidatesExamined += w.examined
+		res.CandidatesPruned += w.pruned
 		if !w.found {
 			continue
 		}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sync"
 	"testing"
+
+	"tagdm/internal/groups"
+	"tagdm/internal/mining"
 )
 
 func TestBinomial(t *testing.T) {
@@ -37,9 +41,12 @@ func TestExactParallelMatchesSerial(t *testing.T) {
 		if serial.Found != parallel.Found {
 			t.Fatalf("problem %d: found mismatch %v vs %v", id, serial.Found, parallel.Found)
 		}
-		if serial.CandidatesExamined != parallel.CandidatesExamined {
-			t.Fatalf("problem %d: candidates %d vs %d",
-				id, serial.CandidatesExamined, parallel.CandidatesExamined)
+		// Each parallel worker prunes against its own shard-local incumbent,
+		// so the examined/pruned split differs from the serial run — but
+		// both must account for the same full enumeration.
+		if st, pt := serial.CandidatesExamined+serial.CandidatesPruned,
+			parallel.CandidatesExamined+parallel.CandidatesPruned; st != pt {
+			t.Fatalf("problem %d: candidates %d vs %d", id, st, pt)
 		}
 		if !serial.Found {
 			continue
@@ -51,6 +58,114 @@ func TestExactParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("problem %d: group count %d vs %d",
 				id, len(serial.Groups), len(parallel.Groups))
 		}
+	}
+}
+
+// TestCandidateCountSemantics is the regression pin for the
+// examined/pruned split: with pruning disabled, CandidatesExamined matches
+// the naive full enumeration (sum of binomials) and nothing is pruned; with
+// pruning on (the default), pruned subtrees are reported separately, the
+// two counts partition the same enumeration, and on the paper problems over
+// this world the bound actually fires (pruned > 0). Serial and parallel
+// agree on the partition total.
+func TestCandidateCountSemantics(t *testing.T) {
+	e := buildEngine(t)
+	n := len(e.Groups)
+	anyPruned := false
+	for id := 1; id <= 6; id++ {
+		spec, _ := PaperProblem(id, 3, 5, 0.5, 0.5)
+		var total int64
+		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
+			total += binomial(n, k)
+		}
+		off, err := e.Exact(spec, ExactOptions{DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.CandidatesExamined != total {
+			t.Fatalf("problem %d: pruning off examined %d, enumeration size %d",
+				id, off.CandidatesExamined, total)
+		}
+		if off.CandidatesPruned != 0 {
+			t.Fatalf("problem %d: pruning off reported %d pruned", id, off.CandidatesPruned)
+		}
+		for _, parallel := range []bool{false, true} {
+			on, err := e.Exact(spec, ExactOptions{Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := on.CandidatesExamined + on.CandidatesPruned; got != total {
+				t.Fatalf("problem %d parallel=%v: examined %d + pruned %d = %d, want %d",
+					id, parallel, on.CandidatesExamined, on.CandidatesPruned, got, total)
+			}
+			if on.CandidatesPruned > 0 {
+				anyPruned = true
+			}
+			if on.Found != off.Found || on.Objective != off.Objective {
+				t.Fatalf("problem %d parallel=%v: pruning changed the result", id, parallel)
+			}
+		}
+	}
+	if !anyPruned {
+		t.Fatal("bound never fired on any paper problem; pruning is inert")
+	}
+}
+
+// TestMatrixAndBoundCacheRace hammers the engine's matrix + bound-vector
+// cache from every direction at once — measure overrides, prewarms, and
+// pruning solves that read the cached bound vectors — to prove the
+// invalidation protocol is race-free (the CI -race job gives this test its
+// teeth). Results are not asserted against each other (overrides change
+// them mid-flight by design); every run must simply complete without a
+// race, and the final state must serve the last override's values.
+func TestMatrixAndBoundCacheRace(t *testing.T) {
+	e := buildEngine(t)
+	spec, _ := PaperProblem(1, 3, 5, 0.5, 0.5)
+	var wg sync.WaitGroup
+	for wi := 0; wi < 4; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				v := 0.25 + float64((wi+iter)%3)*0.25
+				e.SetPairFunc(mining.Tags, mining.Similarity,
+					func(g1, g2 *groups.Group) float64 { return v })
+				e.PrewarmMatrices(spec)
+			}
+		}(wi)
+	}
+	for wi := 0; wi < 4; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				if _, err := e.Exact(spec, ExactOptions{Parallel: wi%2 == 0}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	e.SetPairFunc(mining.Tags, mining.Similarity,
+		func(g1, g2 *groups.Group) float64 { return 0.5 })
+	m := e.PairMatrix(mining.Tags, mining.Similarity)
+	if got := m.At(0, 1); got != 0.5 {
+		t.Fatalf("post-race matrix serves %v, want the last override's 0.5", got)
+	}
+	if got := m.MaxRows()[0]; got != 0.5 {
+		t.Fatalf("post-race bound vector serves %v, want 0.5", got)
+	}
+	res, err := e.Exact(spec, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := e.Exact(spec, ExactOptions{DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found != off.Found || res.Objective != off.Objective {
+		t.Fatal("post-race pruning run diverges from the oracle")
 	}
 }
 

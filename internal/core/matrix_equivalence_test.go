@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -83,28 +84,40 @@ func TestExactMatchesNaiveReference(t *testing.T) {
 	for _, spec := range specs {
 		wantFound, wantBest, wantScore, wantExamined := naiveExact(e, spec)
 		for _, parallel := range []bool{false, true} {
-			res, err := e.Exact(spec, ExactOptions{Parallel: parallel})
-			if err != nil {
-				t.Fatalf("%s parallel=%v: %v", spec.Name, parallel, err)
-			}
-			if res.Found != wantFound {
-				t.Fatalf("%s parallel=%v: found %v, naive %v",
-					spec.Name, parallel, res.Found, wantFound)
-			}
-			if res.CandidatesExamined != wantExamined {
-				t.Fatalf("%s parallel=%v: examined %d, naive %d",
-					spec.Name, parallel, res.CandidatesExamined, wantExamined)
-			}
-			if !wantFound {
-				continue
-			}
-			if !sameGroupIDs(res.Groups, wantBest) {
-				t.Fatalf("%s parallel=%v: argmax %v, naive %v",
-					spec.Name, parallel, res.Describe(e.Store), groupIDs(wantBest))
-			}
-			if res.Objective != wantScore {
-				t.Fatalf("%s parallel=%v: objective %v, naive %v",
-					spec.Name, parallel, res.Objective, wantScore)
+			for _, disablePruning := range []bool{false, true} {
+				label := fmt.Sprintf("%s parallel=%v pruning=%v", spec.Name, parallel, !disablePruning)
+				res, err := e.Exact(spec, ExactOptions{Parallel: parallel, DisablePruning: disablePruning})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if res.Found != wantFound {
+					t.Fatalf("%s: found %v, naive %v", label, res.Found, wantFound)
+				}
+				if disablePruning {
+					// The oracle path enumerates everything: examined must
+					// match the naive count exactly, nothing pruned.
+					if res.CandidatesExamined != wantExamined {
+						t.Fatalf("%s: examined %d, naive %d", label, res.CandidatesExamined, wantExamined)
+					}
+					if res.CandidatesPruned != 0 {
+						t.Fatalf("%s: pruned %d with pruning disabled", label, res.CandidatesPruned)
+					}
+				} else if got := res.CandidatesExamined + res.CandidatesPruned; got != wantExamined {
+					// Pruning splits the same enumeration into examined and
+					// pruned; the split must account for every candidate.
+					t.Fatalf("%s: examined %d + pruned %d = %d, naive %d",
+						label, res.CandidatesExamined, res.CandidatesPruned, got, wantExamined)
+				}
+				if !wantFound {
+					continue
+				}
+				if !sameGroupIDs(res.Groups, wantBest) {
+					t.Fatalf("%s: argmax %v, naive %v",
+						label, res.Describe(e.Store), groupIDs(wantBest))
+				}
+				if res.Objective != wantScore {
+					t.Fatalf("%s: objective %v, naive %v", label, res.Objective, wantScore)
+				}
 			}
 		}
 	}
@@ -186,8 +199,8 @@ func TestExactCandidateLoopAllocationFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CandidatesExamined < 500 {
-		t.Fatalf("world too small to prove anything: %d candidates", res.CandidatesExamined)
+	if total := res.CandidatesExamined + res.CandidatesPruned; total < 500 {
+		t.Fatalf("world too small to prove anything: %d candidates", total)
 	}
 	avg := testing.AllocsPerRun(10, func() {
 		if _, err := e.Exact(spec, ExactOptions{}); err != nil {

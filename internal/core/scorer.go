@@ -48,6 +48,23 @@ func (e *Engine) scorer(spec ProblemSpec) *matrixScorer {
 	return s
 }
 
+// objectiveBounds returns, per objective binding, the matrix's max-row
+// vector and its global maximum pair score — the ingredients of the Exact
+// branch-and-bound upper bound. The vectors are cached inside the shared
+// immutable matrices (see mining.PairMatrix.MaxRows), so they follow the
+// engine's matrix cache: built at most once per binding, dropped with the
+// matrix when SetPairFunc invalidates it, and safe to read from every
+// worker sharing this scorer.
+func (s *matrixScorer) objectiveBounds() (maxRows [][]float64, maxPair []float64) {
+	maxRows = make([][]float64, len(s.objMats))
+	maxPair = make([]float64, len(s.objMats))
+	for i, m := range s.objMats {
+		maxRows[i] = m.MaxRows()
+		maxPair[i] = m.MaxPair()
+	}
+	return maxRows, maxPair
+}
+
 // idsOf maps a group set to its id slice, reusing the scorer's buffer. The
 // result is valid until the next idsOf call.
 func (s *matrixScorer) idsOf(set []*groups.Group) []int {

@@ -200,8 +200,10 @@ func KSweep(st *Setup, p Params, ks []int) (KSweepTable, error) {
 			return KSweepTable{}, err
 		}
 		t.Rows = append(t.Rows, KSweepRow{
-			K:          k,
-			Candidates: serial.CandidatesExamined,
+			K: k,
+			// Examined + pruned: the enumeration size the sweep plots, which
+			// branch-and-bound splits but does not shrink.
+			Candidates: serial.CandidatesExamined + serial.CandidatesPruned,
 			Exact:      serial.Elapsed,
 			ExactPar:   par.Elapsed,
 			Approx:     app.Elapsed,

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"math"
 	"reflect"
 	"testing"
 
@@ -44,33 +43,19 @@ func compressedTwin(t *testing.T, st *Setup) *Setup {
 
 // assertSameResult demands byte-identical solver outcomes: feasibility,
 // argmax group IDs and descriptions, bit-for-bit objective, support, and
-// the examined-candidate count.
+// the examined-candidate count. The outcome fields are shared with the
+// pruning property harness via assertByteIdentical; this wrapper adds the
+// checks that need Setups (descriptions) or only hold between runs of the
+// same pruning mode (examined counts).
 func assertSameResult(t *testing.T, label string, st, stC *Setup, want, got core.Result) {
 	t.Helper()
-	if got.Found != want.Found {
-		t.Fatalf("%s: found %v with compression, %v without", label, got.Found, want.Found)
-	}
+	assertByteIdentical(t, label, want, got)
 	if got.CandidatesExamined != want.CandidatesExamined {
 		t.Fatalf("%s: examined %d with compression, %d without",
 			label, got.CandidatesExamined, want.CandidatesExamined)
 	}
 	if !want.Found {
 		return
-	}
-	if math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
-		t.Fatalf("%s: objective %v with compression, %v without", label, got.Objective, want.Objective)
-	}
-	if got.Support != want.Support {
-		t.Fatalf("%s: support %d with compression, %d without", label, got.Support, want.Support)
-	}
-	if len(got.Groups) != len(want.Groups) {
-		t.Fatalf("%s: set size %d with compression, %d without", label, len(got.Groups), len(want.Groups))
-	}
-	for i := range got.Groups {
-		if got.Groups[i].ID != want.Groups[i].ID {
-			t.Fatalf("%s: argmax %v with compression, %v without",
-				label, got.Describe(stC.Store), want.Describe(st.Store))
-		}
 	}
 	if !reflect.DeepEqual(got.Describe(stC.Store), want.Describe(st.Store)) {
 		t.Fatalf("%s: descriptions diverge: %v vs %v",

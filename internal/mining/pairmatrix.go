@@ -2,6 +2,7 @@ package mining
 
 import (
 	"reflect"
+	"sync"
 
 	"tagdm/internal/groups"
 	"tagdm/internal/vec"
@@ -15,6 +16,14 @@ import (
 // immutable and safe for concurrent readers.
 type PairMatrix struct {
 	mat *vec.Matrix
+
+	// Bound vectors for branch-and-bound pruning, derived from the matrix
+	// on first use and cached for its lifetime (the matrix is immutable, so
+	// they can never go stale; the engine invalidating a matrix drops its
+	// vectors with it).
+	boundOnce sync.Once
+	maxRows   []float64
+	maxPair   float64
 }
 
 // NewPairMatrix evaluates pair over all unordered pairs of gs, splitting
@@ -54,6 +63,54 @@ func (m *PairMatrix) MeanOver(ids []int) float64 {
 		return 0
 	}
 	return m.SumOver(ids) / float64(k*(k-1)/2)
+}
+
+// MaxRows returns the matrix's bound vector: entry i is the largest pair
+// score group i attains against any other group (0 when the universe has
+// fewer than two groups, where no pair exists to bound). Together with
+// MaxPair it gives an admissible upper bound on the pair-sum of any
+// superset of a partial candidate — the branch-and-bound cut the Exact
+// solver applies. The slice is computed once per matrix, cached, and must
+// not be mutated; concurrent callers are safe.
+func (m *PairMatrix) MaxRows() []float64 {
+	m.buildBounds()
+	return m.maxRows
+}
+
+// MaxPair returns the largest pair score anywhere in the matrix (0 below
+// two groups), bounding pairs whose members are both still unchosen.
+func (m *PairMatrix) MaxPair() float64 {
+	m.buildBounds()
+	return m.maxPair
+}
+
+func (m *PairMatrix) buildBounds() {
+	m.boundOnce.Do(func() {
+		n := m.mat.Len()
+		m.maxRows = make([]float64, n)
+		if n < 2 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			best := 0.0
+			first := true
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				if v := m.mat.At(i, j); first || v > best {
+					best, first = v, false
+				}
+			}
+			m.maxRows[i] = best
+		}
+		m.maxPair = m.maxRows[0]
+		for _, v := range m.maxRows[1:] {
+			if v > m.maxPair {
+				m.maxPair = v
+			}
+		}
+	})
 }
 
 // MinOver is the minimum pair score over ids (the Min aggregation); fewer

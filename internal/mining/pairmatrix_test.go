@@ -194,6 +194,61 @@ func TestIncrementalEvalEdgeCases(t *testing.T) {
 	}
 }
 
+// TestMaxRowsBoundVectors pins the branch-and-bound ingredients: MaxRows
+// must hold each group's best pair score against any partner, MaxPair the
+// global maximum, repeated calls must serve the same cached slice, and the
+// degenerate one-group universe (no pairs at all) must bound at 0.
+func TestMaxRowsBoundVectors(t *testing.T) {
+	gs, pair := syntheticUniverse(9, 3)
+	m := NewPairMatrix(gs, pair, 0)
+	rows := m.MaxRows()
+	if len(rows) != len(gs) {
+		t.Fatalf("MaxRows has %d entries, want %d", len(rows), len(gs))
+	}
+	global := 0.0
+	for i := range gs {
+		want := 0.0
+		first := true
+		for j := range gs {
+			if j == i {
+				continue
+			}
+			if v := pair(gs[i], gs[j]); first || v > want {
+				want, first = v, false
+			}
+		}
+		if rows[i] != want {
+			t.Fatalf("MaxRows[%d] = %v, want %v", i, rows[i], want)
+		}
+		if want > global {
+			global = want
+		}
+	}
+	if m.MaxPair() != global {
+		t.Fatalf("MaxPair = %v, want %v", m.MaxPair(), global)
+	}
+	// The vector upper-bounds any pair involving i — the admissibility the
+	// Exact bound leans on.
+	for i := range gs {
+		for j := range gs {
+			if i != j && pair(gs[i], gs[j]) > rows[i] {
+				t.Fatalf("pair(%d,%d) exceeds MaxRows[%d]", i, j, i)
+			}
+		}
+	}
+	if &m.MaxRows()[0] != &rows[0] {
+		t.Fatal("MaxRows rebuilt instead of serving the cached vector")
+	}
+	single, _ := syntheticUniverse(1, 3)
+	m1 := NewPairMatrix(single, pair, 0)
+	if got := m1.MaxRows(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("one-group MaxRows = %v, want [0]", got)
+	}
+	if m1.MaxPair() != 0 {
+		t.Fatalf("one-group MaxPair = %v, want 0", m1.MaxPair())
+	}
+}
+
 func containsID(ids []int, id int) bool {
 	for _, x := range ids {
 		if x == id {

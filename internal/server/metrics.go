@@ -28,6 +28,12 @@ type metrics struct {
 	solveTimeouts atomic.Int64
 	rejected      atomic.Int64
 
+	// Solver work accounting, split the way core.Result splits it:
+	// candidates actually evaluated versus candidates cut by the Exact
+	// branch-and-bound without evaluation (0 for the approximate families).
+	candidatesExamined atomic.Int64
+	candidatesPruned   atomic.Int64
+
 	snapshots atomic.Int64
 
 	latency histogram
@@ -95,6 +101,8 @@ func (m *metrics) render(gauges map[string]float64) string {
 	counter("tagdm_cache_hits_total", "Analyze results served from cache.", m.cacheHits.Load())
 	counter("tagdm_cache_misses_total", "Analyze cache misses.", m.cacheMisses.Load())
 	counter("tagdm_solves_total", "Solver executions.", m.solves.Load())
+	counter("tagdm_candidates_examined_total", "Candidate sets evaluated by solvers.", m.candidatesExamined.Load())
+	counter("tagdm_candidates_pruned_total", "Candidate sets cut by branch-and-bound without evaluation.", m.candidatesPruned.Load())
 	counter("tagdm_solve_errors_total", "Solver executions that errored.", m.solveErrors.Load())
 	counter("tagdm_solve_timeouts_total", "Analyze requests that timed out.", m.solveTimeouts.Load())
 	counter("tagdm_rejected_total", "Analyze requests rejected with a full queue.", m.rejected.Load())

@@ -314,6 +314,12 @@ type StatsResponse struct {
 		Timeouts   int64   `json:"timeouts"`
 		Rejected   int64   `json:"rejected"`
 		MeanMillis float64 `json:"mean_millis"`
+		// CandidatesExamined/CandidatesPruned split solver work the way
+		// core.Result does: sets actually evaluated versus sets the Exact
+		// branch-and-bound proved unable to beat the incumbent and skipped
+		// (always 0 for the approximate families).
+		CandidatesExamined int64 `json:"candidates_examined"`
+		CandidatesPruned   int64 `json:"candidates_pruned"`
 	} `json:"solve"`
 
 	Ingest struct {
@@ -445,6 +451,8 @@ func (s *Server) runAnalyze(snap *incremental.Snapshot, req *query.Request, raw 
 		return nil, err
 	}
 	s.metrics.solves.Add(1)
+	s.metrics.candidatesExamined.Add(res.CandidatesExamined)
+	s.metrics.candidatesPruned.Add(res.CandidatesPruned)
 	s.metrics.latency.observe(time.Since(start))
 	resp.Found = res.Found
 	resp.Algorithm = res.Algorithm
@@ -650,6 +658,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Solve.Timeouts = s.metrics.solveTimeouts.Load()
 	resp.Solve.Rejected = s.metrics.rejected.Load()
 	resp.Solve.MeanMillis = s.metrics.latency.meanMillis()
+	resp.Solve.CandidatesExamined = s.metrics.candidatesExamined.Load()
+	resp.Solve.CandidatesPruned = s.metrics.candidatesPruned.Load()
 	resp.Ingest.Requests = s.metrics.ingestRequests.Load()
 	resp.Ingest.Actions = s.metrics.actionsIngested.Load()
 	resp.Ingest.Snapshots = s.metrics.snapshots.Load()

@@ -142,6 +142,15 @@ func TestAnalyzeEndToEndWithCache(t *testing.T) {
 	if stats.Solve.Count != 1 {
 		t.Fatalf("solves = %d, want 1", stats.Solve.Count)
 	}
+	// The examined/pruned split is threaded from core.Result: the approximate
+	// solver behind this query evaluated candidates (buckets/greedy adds) and
+	// pruned nothing — pruning is an Exact-only mechanism.
+	if stats.Solve.CandidatesExamined <= 0 {
+		t.Fatalf("candidates_examined = %d, want > 0", stats.Solve.CandidatesExamined)
+	}
+	if stats.Solve.CandidatesPruned != 0 {
+		t.Fatalf("candidates_pruned = %d for an approximate solve, want 0", stats.Solve.CandidatesPruned)
+	}
 }
 
 func TestAnalyzeScopedWhere(t *testing.T) {
