@@ -13,6 +13,7 @@ package tagdm
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -45,7 +46,7 @@ var (
 // benchWorld builds one shared pipeline for all benchmarks: the FastConfig
 // corpus (1.5K actions, ~100 groups) keeps `go test -bench=.` minutes-scale;
 // cmd/tagdm-bench -scale paper covers the full-size runs.
-func benchWorld(b *testing.B) (*experiments.Setup, *core.Engine) {
+func benchWorld(b testing.TB) (*experiments.Setup, *core.Engine) {
 	b.Helper()
 	benchOnce.Do(func() {
 		st, err := experiments.Build(experiments.FastConfig())
@@ -64,7 +65,7 @@ func benchWorld(b *testing.B) (*experiments.Setup, *core.Engine) {
 	return benchSetup, benchExact
 }
 
-func benchSpec(b *testing.B, st *experiments.Setup, id int) core.ProblemSpec {
+func benchSpec(b testing.TB, st *experiments.Setup, id int) core.ProblemSpec {
 	b.Helper()
 	p := experiments.PaperParams()
 	spec, err := core.PaperProblem(id, p.K, int(p.SupportPct*float64(st.Store.Len())), p.Q, p.R)
@@ -81,7 +82,7 @@ func benchExactRun(b *testing.B, id int) {
 	spec := benchSpec(b, st, id)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.Exact(spec, core.ExactOptions{}); err != nil {
+		if _, err := ex.Exact(context.Background(), spec, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func benchSMLSH(b *testing.B, id int, mode core.ConstraintMode) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: int64(i), Mode: mode}
-		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+		if _, err := st.Engine.SMLSH(context.Background(), spec, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,11 +119,11 @@ func BenchmarkFig4Quality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for id := 1; id <= 3; id++ {
 			spec := benchSpec(b, st, id)
-			exRes, err := ex.Exact(spec, core.ExactOptions{})
+			exRes, err := ex.Exact(context.Background(), spec, core.ExactOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			app, err := st.Engine.SMLSH(spec, core.LSHOptions{Seed: 1, Mode: core.Fold})
+			app, err := st.Engine.SMLSH(context.Background(), spec, core.LSHOptions{Seed: 1, Mode: core.Fold})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -141,7 +142,7 @@ func benchDVFDP(b *testing.B, id int, mode core.ConstraintMode) {
 	spec := benchSpec(b, st, id)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: mode}); err != nil {
+		if _, err := st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: mode}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,11 +163,11 @@ func BenchmarkFig6Quality(b *testing.B) {
 	st, ex := benchWorld(b)
 	for i := 0; i < b.N; i++ {
 		spec := benchSpec(b, st, 6)
-		exRes, err := ex.Exact(spec, core.ExactOptions{})
+		exRes, err := ex.Exact(context.Background(), spec, core.ExactOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		app, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+		app, err := st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,9 +189,9 @@ func benchBin(b *testing.B, frac float64, problem int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if problem == 1 {
-			_, err = bin.Engine.SMLSH(spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: 1, Mode: core.Fold})
+			_, err = bin.Engine.SMLSH(context.Background(), spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: 1, Mode: core.Fold})
 		} else {
-			_, err = bin.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+			_, err = bin.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold})
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -242,7 +243,7 @@ func benchLSHTables(b *testing.B, l int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.LSHOptions{DPrime: 10, L: l, Seed: 1, Mode: core.Fold}
-		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+		if _, err := st.Engine.SMLSH(context.Background(), spec, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,7 +260,7 @@ func benchLSHDPrime(b *testing.B, dprime int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.LSHOptions{DPrime: dprime, L: 1, Seed: 1, Mode: core.Fold}
-		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+		if _, err := st.Engine.SMLSH(context.Background(), spec, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -276,7 +277,7 @@ func benchRelaxation(b *testing.B, disable bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.LSHOptions{DPrime: 30, L: 1, Seed: 1, Mode: core.Fold, DisableRelaxation: disable}
-		if _, err := st.Engine.SMLSH(spec, opts); err != nil {
+		if _, err := st.Engine.SMLSH(context.Background(), spec, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -294,7 +295,7 @@ func BenchmarkAblationFDPSeedMaxEdge(b *testing.B) {
 	spec := benchSpec(b, st, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold}); err != nil {
+		if _, err := st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,7 +306,7 @@ func BenchmarkAblationFDPSeedFixed(b *testing.B) {
 	spec := benchSpec(b, st, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold, FixedSeed: true}); err != nil {
+		if _, err := st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold, FixedSeed: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -318,7 +319,7 @@ func BenchmarkAblationMatrixPrecomputed(b *testing.B) {
 	spec := benchSpec(b, st, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold, Precompute: true}); err != nil {
+		if _, err := st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold, Precompute: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -420,7 +421,7 @@ func BenchmarkExactSerial(b *testing.B) {
 	spec := benchSpec(b, st, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.Exact(spec, core.ExactOptions{}); err != nil {
+		if _, err := ex.Exact(context.Background(), spec, core.ExactOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -435,7 +436,7 @@ func BenchmarkExactSerialNoPruning(b *testing.B) {
 	spec := benchSpec(b, st, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.Exact(spec, core.ExactOptions{DisablePruning: true}); err != nil {
+		if _, err := ex.Exact(context.Background(), spec, core.ExactOptions{DisablePruning: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -447,7 +448,7 @@ func BenchmarkExactParallel(b *testing.B) {
 	spec := benchSpec(b, st, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.Exact(spec, core.ExactOptions{Parallel: true}); err != nil {
+		if _, err := ex.Exact(context.Background(), spec, core.ExactOptions{Parallel: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
-//	            [-bnb] [-sparse] [-json]
+//	            [-bnb] [-sparse] [-trace] [-json]
 //
 // With -all (the default when no selector is given) every artifact is
 // produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
@@ -42,16 +42,19 @@ import (
 // benchRecord is one JSON-lines measurement; zero-valued selector fields
 // are omitted so each bench kind carries only its own axes.
 type benchRecord struct {
-	Bench     string  `json:"bench"`
-	Scale     string  `json:"scale"`
-	Problem   string  `json:"problem,omitempty"`
-	Algorithm string  `json:"algorithm,omitempty"`
-	Sweep     string  `json:"sweep,omitempty"`
-	Variant   string  `json:"variant,omitempty"`
-	Tuples    int     `json:"tuples,omitempty"`
-	NumGroups int     `json:"groups,omitempty"`
-	K         int     `json:"k,omitempty"`
-	Millis    float64 `json:"millis"`
+	Bench     string `json:"bench"`
+	Scale     string `json:"scale"`
+	Problem   string `json:"problem,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Sweep     string `json:"sweep,omitempty"`
+	Variant   string `json:"variant,omitempty"`
+	Tuples    int    `json:"tuples,omitempty"`
+	NumGroups int    `json:"groups,omitempty"`
+	K         int    `json:"k,omitempty"`
+	// Stage names one solver phase (trace records): matrix, enumerate,
+	// lsh_build, bucket_scan, greedy, local_search, or total.
+	Stage  string  `json:"stage,omitempty"`
+	Millis float64 `json:"millis"`
 	// Quality is present where the underlying run has a quality axis —
 	// pointers, not omitempty, so a measured 0.0 still appears.
 	Quality *float64 `json:"quality,omitempty"`
@@ -121,6 +124,13 @@ func (e *jsonEmitter) bnbTable(t experiments.BnBTable) {
 	}
 }
 
+func (e *jsonEmitter) stageTable(t experiments.StageTraceTable) {
+	for _, r := range t.Rows {
+		e.record(benchRecord{Bench: "trace", Problem: r.Problem,
+			Algorithm: r.Algorithm, Stage: r.Stage, Millis: millis(r.Wall)})
+	}
+}
+
 func (e *jsonEmitter) ksweepTable(t experiments.KSweepTable) {
 	for _, r := range t.Rows {
 		e.record(benchRecord{Bench: "ksweep", Algorithm: "Exact", K: r.K,
@@ -143,11 +153,12 @@ func main() {
 	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
 	bnb := flag.Bool("bnb", false, "run the Exact branch-and-bound pruning sweep (pruning on vs off)")
 	sparse := flag.Bool("sparse", false, "run the sparse-corpus union-kernel sweep (dense vs compressed bitmaps)")
+	trace := flag.Bool("trace", false, "emit per-stage solver timing breakdowns (matrix, enumerate, lsh_build, ...)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
 	flag.Parse()
 
-	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse {
+	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse && !*trace {
 		*all = true
 	}
 
@@ -182,7 +193,7 @@ func main() {
 		return
 	}
 
-	needSetup := *all || *ablation || *ksweep || *bnb || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
+	needSetup := *all || *ablation || *ksweep || *bnb || *trace || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
 	var st *experiments.Setup
 	if needSetup {
 		fmt.Fprintf(os.Stderr, "building %s pipeline (datagen + LDA)...\n", *scale)
@@ -262,6 +273,17 @@ func main() {
 		}
 		if emit != nil {
 			emit.bnbTable(tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
+	}
+	if *all || *trace {
+		tab, err := experiments.StageTraces(st, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if emit != nil {
+			emit.stageTable(tab)
 		} else {
 			fmt.Println(tab.Render())
 		}

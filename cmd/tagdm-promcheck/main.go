@@ -1,0 +1,81 @@
+// Command tagdm-promcheck validates a metrics exposition read from stdin.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics  | tagdm-promcheck [-require name ...]
+//	curl -s localhost:8080/v1/stats | tagdm-promcheck -json
+//
+// The default mode runs the strict Prometheus text-format parser from
+// internal/obs: every sample must belong to a declared TYPE, histogram
+// bucket series must be cumulative and +Inf-terminated with consistent
+// _sum/_count, label escapes must be well-formed, and duplicate series are
+// rejected. On success it prints a one-line summary (families, samples)
+// and exits 0; any violation prints the offending line and exits 1.
+//
+// -require name (repeatable) additionally asserts that a metric family is
+// present, so CI smoke jobs can pin the catalog they depend on.
+//
+// -json switches to validating the input as a single JSON object instead,
+// for the /v1/stats endpoint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"tagdm/internal/obs"
+)
+
+// stringList collects repeated -require flags.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm-promcheck: ")
+	var require stringList
+	asJSON := flag.Bool("json", false, "validate stdin as a JSON object (for /v1/stats) instead of Prometheus text")
+	flag.Var(&require, "require", "require this metric family to be present (repeatable)")
+	flag.Parse()
+
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(data) == 0 {
+		log.Fatal("empty input")
+	}
+
+	if *asJSON {
+		var obj map[string]any
+		if err := json.Unmarshal(data, &obj); err != nil {
+			log.Fatalf("invalid JSON: %v", err)
+		}
+		if len(obj) == 0 {
+			log.Fatal("JSON object has no fields")
+		}
+		fmt.Printf("ok: JSON object with %d top-level fields\n", len(obj))
+		return
+	}
+
+	pt, err := obs.ParsePrometheus(data)
+	if err != nil {
+		log.Fatalf("invalid exposition: %v", err)
+	}
+	for _, name := range require {
+		if !pt.HasFamily(name) {
+			log.Fatalf("required family %s is missing", name)
+		}
+	}
+	fmt.Printf("ok: %d families, %d samples\n", len(pt.Types), len(pt.Samples))
+}

@@ -8,7 +8,7 @@
 //	            -user-attrs a,b -item-attrs c,d]
 //	            [-min-group-tuples 5] [-workers 4] [-queue 64]
 //	            [-cache 256] [-refresh-every 1] [-timeout 30s] [-seed 1]
-//	            [-prewarm]
+//	            [-prewarm] [-access-log] [-slow-ms 0] [-debug-addr addr]
 //
 // The corpus comes from one of three places: a dataset JSON file written by
 // tagdm-datagen or Dataset.WriteJSON (-data), a synthesized corpus
@@ -23,18 +23,27 @@
 //	GET  /v1/stats    cache hit rate, queue depth, solve latencies (JSON)
 //	GET  /metrics     the same in Prometheus text format
 //	GET  /healthz     liveness
+//
+// Observability: -access-log writes one structured JSON line per request
+// to stderr; -slow-ms N additionally dumps the resolved problem spec and
+// the request's span tree for any solve slower than N milliseconds;
+// -debug-addr :6060 serves net/http/pprof profiles on a separate listener
+// so profiling traffic never shares the API port.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"tagdm"
+	"tagdm/internal/obs"
 	"tagdm/internal/server"
 )
 
@@ -55,6 +64,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request solve timeout")
 		seed         = flag.Int64("seed", 1, "LSH seed for reproducible answers")
 		prewarm      = flag.Bool("prewarm", false, "build pair matrices at snapshot publication instead of on first query")
+		accessLog    = flag.Bool("access-log", false, "write a structured JSON access-log line per request to stderr")
+		slowMs       = flag.Int("slow-ms", 0, "log spec and span tree of solves slower than this many milliseconds (0 disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
 	)
 	flag.Parse()
 
@@ -67,6 +79,10 @@ func main() {
 	if cache == 0 {
 		cache = -1 // Config treats 0 as "default"; negative disables
 	}
+	var logger *slog.Logger
+	if *accessLog || *slowMs > 0 {
+		logger = obs.NewJSONLogger(os.Stderr, slog.LevelInfo)
+	}
 	srv, err := server.New(server.Config{
 		Dataset:         ds,
 		MinGroupTuples:  *minTuples,
@@ -77,11 +93,25 @@ func main() {
 		SolveTimeout:    *timeout,
 		Seed:            *seed,
 		PrewarmMatrices: *prewarm,
+		AccessLog:       logger,
+		SlowSolve:       time.Duration(*slowMs) * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; serving that mux on a dedicated listener
+		// keeps profiling off the API port.
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	stats := ds.Stats()
 	log.Printf("serving %d users, %d items, %d actions, %d-tag vocabulary on %s",

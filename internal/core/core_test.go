@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -163,7 +165,7 @@ func TestNewEngineValidation(t *testing.T) {
 func TestExactProblem1(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	res, err := e.Exact(spec, ExactOptions{})
+	res, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestExactRespectsConstraints(t *testing.T) {
 	e := buildEngine(t)
 	// Impossible support forces a null result.
 	spec, _ := PaperProblem(1, 2, 10_000, 0.5, 0.5)
-	res, err := e.Exact(spec, ExactOptions{})
+	res, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +207,7 @@ func TestExactRespectsConstraints(t *testing.T) {
 func TestExactCandidateCap(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	if _, err := e.Exact(spec, ExactOptions{MaxCandidates: 3}); err == nil {
+	if _, err := e.Exact(context.Background(), spec, ExactOptions{MaxCandidates: 3}); err == nil {
 		t.Fatal("cap not enforced")
 	}
 }
@@ -213,7 +215,7 @@ func TestExactCandidateCap(t *testing.T) {
 func TestSMLSHRejectsDiversityObjective(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(4, 2, 5, 0.5, 0.5)
-	if _, err := e.SMLSH(spec, LSHOptions{Seed: 1}); err == nil {
+	if _, err := e.SMLSH(context.Background(), spec, LSHOptions{Seed: 1}); err == nil {
 		t.Fatal("diversity objective accepted by SM-LSH")
 	}
 }
@@ -222,7 +224,7 @@ func TestSMLSHFindsSimilarGroups(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
 	for _, mode := range []ConstraintMode{Filter, Fold} {
-		res, err := e.SMLSH(spec, LSHOptions{DPrime: 10, L: 1, Seed: 7, Mode: mode})
+		res, err := e.SMLSH(context.Background(), spec, LSHOptions{DPrime: 10, L: 1, Seed: 7, Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,11 +244,11 @@ func TestSMLSHFindsSimilarGroups(t *testing.T) {
 func TestSMLSHQualityVsExact(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	exact, err := e.Exact(spec, ExactOptions{})
+	exact, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	app, err := e.SMLSH(spec, LSHOptions{Seed: 7, Mode: Fold})
+	app, err := e.SMLSH(context.Background(), spec, LSHOptions{Seed: 7, Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestSMLSHRelaxation(t *testing.T) {
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
 	// A very fine partition (many hyperplanes) scatters groups into
 	// singletons; relaxation must coarsen until a feasible bucket appears.
-	res, err := e.SMLSH(spec, LSHOptions{DPrime: 60, L: 1, Seed: 3, Mode: Filter})
+	res, err := e.SMLSH(context.Background(), spec, LSHOptions{DPrime: 60, L: 1, Seed: 3, Mode: Filter})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +275,7 @@ func TestSMLSHRelaxation(t *testing.T) {
 	// With relaxation disabled at the same starting point the run may or
 	// may not find a bucket; it must at least not crash and must report
 	// the attempt.
-	res2, err := e.SMLSH(spec, LSHOptions{DPrime: 60, L: 1, Seed: 3, Mode: Filter, DisableRelaxation: true})
+	res2, err := e.SMLSH(context.Background(), spec, LSHOptions{DPrime: 60, L: 1, Seed: 3, Mode: Filter, DisableRelaxation: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +291,7 @@ func TestDVFDPFindsDiverseGroups(t *testing.T) {
 	// violates the user/item constraints, so a null result is legitimate
 	// (the paper notes Fi "may return null results frequently"). It must
 	// not error, and any found result must be feasible.
-	fi, err := e.DVFDP(spec, FDPOptions{Mode: Filter})
+	fi, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Filter})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +301,7 @@ func TestDVFDPFindsDiverseGroups(t *testing.T) {
 	// Fo folds the constraints into the greedy add and must succeed here:
 	// the two spielberg items (action vs drama) with overlapping profiles
 	// give tag diversity ~1 while item sim = 0.5.
-	fo, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	fo, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,11 +319,11 @@ func TestDVFDPFindsDiverseGroups(t *testing.T) {
 func TestDVFDPPrecomputeMatchesLazy(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(4, 3, 5, 0.5, 0.5)
-	lazy, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	lazy, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, err := e.DVFDP(spec, FDPOptions{Mode: Fold, Precompute: true})
+	pre, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold, Precompute: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,14 +338,14 @@ func TestDVFDPPrecomputeMatchesLazy(t *testing.T) {
 func TestDVFDPMaxMinAndFixedSeed(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(6, 2, 5, 0.5, 0.5)
-	mm, err := e.DVFDP(spec, FDPOptions{Mode: Fold, Criterion: MaxMin})
+	mm, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold, Criterion: MaxMin})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !mm.Found {
 		t.Fatal("MaxMin null result")
 	}
-	fs, err := e.DVFDP(spec, FDPOptions{Mode: Filter, FixedSeed: true})
+	fs, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Filter, FixedSeed: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +358,7 @@ func TestDVFDPSimilarityExtension(t *testing.T) {
 	// extension).
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	res, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	res, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,14 +374,14 @@ func TestSolveDispatch(t *testing.T) {
 	e := buildEngine(t)
 	sim, _ := PaperProblem(2, 2, 5, 0.5, 0.5)
 	div, _ := PaperProblem(5, 2, 5, 0.5, 0.5)
-	rs, err := e.Solve(sim, SolveOptions{LSH: LSHOptions{Seed: 7}})
+	rs, err := e.Solve(context.Background(), sim, SolveOptions{LSH: LSHOptions{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(rs.Algorithm, "SM-LSH") {
 		t.Fatalf("similarity spec dispatched to %s", rs.Algorithm)
 	}
-	rd, err := e.Solve(div, SolveOptions{})
+	rd, err := e.Solve(context.Background(), div, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +394,7 @@ func TestAllSixPaperProblemsSolvable(t *testing.T) {
 	e := buildEngine(t)
 	for id := 1; id <= 6; id++ {
 		spec, _ := PaperProblem(id, 2, 5, 0.4, 0.4)
-		res, err := e.Solve(spec, SolveOptions{LSH: LSHOptions{Seed: 11}, FDP: FDPOptions{Mode: Fold}})
+		res, err := e.Solve(context.Background(), spec, SolveOptions{LSH: LSHOptions{Seed: 11}, FDP: FDPOptions{Mode: Fold}})
 		if err != nil {
 			t.Fatalf("problem %d: %v", id, err)
 		}
@@ -410,7 +412,7 @@ func TestAllRolesSolvableOrNull(t *testing.T) {
 	// or null, but never a crash or validation failure).
 	e := buildEngine(t)
 	for _, spec := range AllRoles() {
-		res, err := e.Solve(spec, SolveOptions{LSH: LSHOptions{Seed: 5}, FDP: FDPOptions{Mode: Filter}})
+		res, err := e.Solve(context.Background(), spec, SolveOptions{LSH: LSHOptions{Seed: 5}, FDP: FDPOptions{Mode: Filter}})
 		if err != nil {
 			t.Fatalf("spec %q: %v", spec.Name, err)
 		}
@@ -423,7 +425,7 @@ func TestAllRolesSolvableOrNull(t *testing.T) {
 func TestResultDescribe(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	res, err := e.Exact(spec, ExactOptions{})
+	res, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,14 +446,14 @@ func TestApproxNeverBeatsExact(t *testing.T) {
 	e := buildEngine(t)
 	for id := 1; id <= 6; id++ {
 		spec, _ := PaperProblem(id, 2, 5, 0.5, 0.5)
-		exact, err := e.Exact(spec, ExactOptions{})
+		exact, err := e.Exact(context.Background(), spec, ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !exact.Found {
 			continue
 		}
-		res, err := e.Solve(spec, SolveOptions{LSH: LSHOptions{Seed: 13}, FDP: FDPOptions{Mode: Fold}})
+		res, err := e.Solve(context.Background(), spec, SolveOptions{LSH: LSHOptions{Seed: 13}, FDP: FDPOptions{Mode: Fold}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -66,7 +67,10 @@ type FDPOptions struct {
 // to groups of at least MinSupport/KHi tuples (a size sum that can clear
 // the floor); the better feasible outcome wins. Section 5.3's final
 // support post-check applies either way.
-func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
+// Cancellation: ctx is checked between greedy passes (floor sweep
+// entries, anchored starts) and between local-search rounds; a cancelled
+// run returns ctx.Err() with an empty result.
+func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -87,12 +91,15 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 	// the engine's precomputed matrices; Precompute additionally collapses
 	// the weighted sum across objectives into one condensed matrix, trading
 	// n*(n-1)/2 float64 for a single lookup per pair.
+	mt := startStage(ctx, &res, StageMatrix)
 	scorer := e.scorer(spec)
 	dist := vec.DistFunc(scorer.pairObjective)
 	if opts.Precompute {
 		m := vec.NewMatrixParallel(n, dist, 0)
 		dist = m.At
 	}
+	mt.end()
+	res.MatrixBuilds, res.MatrixHits = scorer.builds, scorer.hits
 
 	// Candidate size floors to try: 0 (the paper's algorithm as written,
 	// with the dynamic feasibility gate below) plus a small sweep of flat
@@ -127,6 +134,7 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 	// post-filtered — and may therefore be null, exactly as Section 5.2
 	// warns. Fold mode folds everything it can (constraint gates, support
 	// feasibility, floor sweep, support-first and anchored starts).
+	gt := startStage(ctx, &res, StageGreedy)
 	var starts [][]*groups.Group
 	if opts.Mode == Filter {
 		set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, 0)
@@ -139,6 +147,10 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 		for _, floor := range floors {
 			if seen[floor] {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				gt.end()
+				return Result{Algorithm: name}, err
 			}
 			seen[floor] = true
 			set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, floor)
@@ -166,6 +178,10 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 			anchors = len(bySize)
 		}
 		for a := 0; a < anchors; a++ {
+			if err := ctx.Err(); err != nil {
+				gt.end()
+				return Result{Algorithm: name}, err
+			}
 			set := e.anchoredStart(bySize[a], spec, scorer, dist, k)
 			res.CandidatesExamined += int64(len(set))
 			if set != nil && scorer.feasible(scorer.idsOf(set)) {
@@ -173,15 +189,21 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 			}
 		}
 	}
+	gt.end()
 
 	// The greedy is myopic: dispersion-first picks can lock it into a
 	// low-objective corner once the support gate starts binding. A swap
 	// local search from each feasible start recovers most of the gap to
 	// Exact at a small linear cost per round; the best outcome wins.
+	lt := startStage(ctx, &res, StageLocalSearch)
 	bestObjective := -1.0
 	for _, set := range starts {
 		if !opts.DisableLocalSearch {
-			improved, swaps := e.localImprove(set, spec, scorer)
+			improved, swaps, err := e.localImprove(ctx, set, spec, scorer)
+			if err != nil {
+				lt.end()
+				return Result{Algorithm: name}, err
+			}
 			set = improved
 			res.CandidatesExamined += swaps
 		}
@@ -191,6 +213,7 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 			res.Groups = set
 		}
 	}
+	lt.end()
 	e.finish(&res, spec, start)
 	return res, nil
 }
@@ -200,8 +223,9 @@ func (e *Engine) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
 // objective, until a round yields no improvement (capped at 8 rounds).
 // It returns the improved set and the number of candidate evaluations.
 // Candidates are scored through the spec's pair matrices: a swap trial is
-// O(k^2) float lookups, with no per-trial allocation.
-func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec, sc *matrixScorer) ([]*groups.Group, int64) {
+// O(k^2) float lookups, with no per-trial allocation. Cancellation is
+// checked once per round.
+func (e *Engine) localImprove(ctx context.Context, set []*groups.Group, spec ProblemSpec, sc *matrixScorer) ([]*groups.Group, int64, error) {
 	cur := make([]*groups.Group, len(set))
 	copy(cur, set)
 	ids := make([]int, len(cur))
@@ -215,6 +239,9 @@ func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec, sc *matrixS
 	}
 	var evals int64
 	for round := 0; round < 8; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, evals, err
+		}
 		improvedThisRound := false
 		for pos := 0; pos < len(cur); pos++ {
 			old := cur[pos]
@@ -244,7 +271,7 @@ func (e *Engine) localImprove(set []*groups.Group, spec ProblemSpec, sc *matrixS
 			break
 		}
 	}
-	return cur, evals
+	return cur, evals, nil
 }
 
 // anchoredStart builds a k-set around one anchor group by repeatedly adding

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"tagdm/internal/mining"
@@ -13,11 +15,11 @@ import (
 func TestDVFDPLocalSearchImproves(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(6, 3, 5, 0.5, 0.5)
-	with, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	with, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := e.DVFDP(spec, FDPOptions{Mode: Fold, DisableLocalSearch: true})
+	without, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold, DisableLocalSearch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func TestDVFDPSupportGate(t *testing.T) {
 	// Groups have 5 tuples each; k=2 means max support 10. A floor of 10
 	// forces the selection to honor it; 11 is infeasible.
 	feasible, _ := PaperProblem(6, 2, 10, 0.3, 0.3)
-	res, err := e.DVFDP(feasible, FDPOptions{Mode: Fold})
+	res, err := e.DVFDP(context.Background(), feasible, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestDVFDPSupportGate(t *testing.T) {
 		t.Fatalf("support = %d", res.Support)
 	}
 	infeasible, _ := PaperProblem(6, 2, 11, 0.3, 0.3)
-	res2, err := e.DVFDP(infeasible, FDPOptions{Mode: Fold})
+	res2, err := e.DVFDP(context.Background(), infeasible, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +59,14 @@ func TestDVFDPSupportGate(t *testing.T) {
 func TestLocalImproveKeepsFeasibility(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(4, 3, 5, 0.5, 0.5)
-	res, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	res, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Found {
 		t.Skip("no feasible start in this world")
 	}
-	improved, _ := e.localImprove(res.Groups, spec, e.scorer(spec))
+	improved, _, _ := e.localImprove(context.Background(), res.Groups, spec, e.scorer(spec))
 	if !e.ConstraintsSatisfied(improved, spec) {
 		t.Fatal("local search returned infeasible set")
 	}
@@ -76,14 +78,14 @@ func TestLocalImproveKeepsFeasibility(t *testing.T) {
 func TestLocalImproveIdempotentOnOptimum(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(6, 2, 5, 0.5, 0.5)
-	exact, err := e.Exact(spec, ExactOptions{})
+	exact, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !exact.Found {
 		t.Skip("no exact optimum")
 	}
-	improved, _ := e.localImprove(exact.Groups, spec, e.scorer(spec))
+	improved, _, _ := e.localImprove(context.Background(), exact.Groups, spec, e.scorer(spec))
 	got := e.ObjectiveScore(improved, spec)
 	if got > exact.Objective+1e-9 {
 		t.Fatalf("local search beat the exact optimum: %v > %v", got, exact.Objective)
@@ -136,7 +138,7 @@ func TestDVFDPFiStaysPurePostFilter(t *testing.T) {
 		Name:        "impossible",
 	}
 	for _, mode := range []ConstraintMode{Filter, Fold} {
-		res, err := e.DVFDP(spec, FDPOptions{Mode: mode})
+		res, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +158,7 @@ func TestDVFDPKOne(t *testing.T) {
 		Objectives: []Objective{{Dim: mining.Tags, Meas: mining.Diversity, Weight: 1}},
 		Name:       "singleton",
 	}
-	res, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	res, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestDVFDPEmptyEngine(t *testing.T) {
 	e := buildEngine(t)
 	empty := &Engine{Store: e.Store, Groups: nil, Sigs: nil, pairFuncs: map[pairKey]mining.PairFunc{}}
 	spec, _ := PaperProblem(6, 2, 0, 0.5, 0.5)
-	res, err := empty.DVFDP(spec, FDPOptions{})
+	res, err := empty.DVFDP(context.Background(), spec, FDPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestDVFDPEmptyEngine(t *testing.T) {
 func TestDVFDPCandidatesCounted(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(6, 3, 5, 0.5, 0.5)
-	res, err := e.DVFDP(spec, FDPOptions{Mode: Fold})
+	res, err := e.DVFDP(context.Background(), spec, FDPOptions{Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}

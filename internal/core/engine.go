@@ -33,6 +33,14 @@ type Engine struct {
 	// unchanged, so a racing override can never be shadowed by a stale
 	// matrix.
 	pairVers map[pairKey]uint64
+
+	// layoutOnce computes the posting-list layout census (how many group
+	// tuple bitmaps are container-compressed vs dense) once per engine;
+	// the groups' layouts never change after construction, and solvers
+	// stamp the census on every Result.
+	layoutOnce        sync.Once
+	postingCompressed int
+	postingDense      int
 }
 
 type pairKey struct {
@@ -102,23 +110,34 @@ func (e *Engine) SetPairFunc(dim mining.Dimension, meas mining.Measure, f mining
 // build that raced a SetPairFunc override is discarded and retried against
 // the new function.
 func (e *Engine) PairMatrix(dim mining.Dimension, meas mining.Measure) *mining.PairMatrix {
+	m, _ := e.pairMatrixTracked(dim, meas)
+	return m
+}
+
+// pairMatrixTracked is PairMatrix plus a cache-outcome report: built is
+// true when this call performed a fresh O(n^2) build (even one that lost
+// a publication race — the cost was paid either way), false on a cache
+// hit. Solvers aggregate the outcomes into Result.MatrixBuilds/
+// MatrixHits and the server exports them as matrix-cache counters.
+func (e *Engine) pairMatrixTracked(dim mining.Dimension, meas mining.Measure) (m *mining.PairMatrix, built bool) {
 	k := pairKey{dim, meas}
 	for {
 		e.mu.Lock()
 		if m, ok := e.matrices[k]; ok {
 			e.mu.Unlock()
-			return m
+			return m, built
 		}
 		ver := e.pairVers[k]
 		e.mu.Unlock()
 		// Build outside the lock: a multi-second build must not stall
 		// solvers that only need already-cached bindings (or the pairFuncs
 		// map).
+		built = true
 		m := mining.NewPairMatrix(e.Groups, e.PairFunc(dim, meas), 0)
 		e.mu.Lock()
 		if exist, ok := e.matrices[k]; ok {
 			e.mu.Unlock()
-			return exist
+			return exist, built
 		}
 		if e.pairVers[k] != ver {
 			// SetPairFunc landed mid-build; this matrix holds the old
@@ -128,8 +147,23 @@ func (e *Engine) PairMatrix(dim mining.Dimension, meas mining.Measure) *mining.P
 		}
 		e.matrices[k] = m
 		e.mu.Unlock()
-		return m
+		return m, built
 	}
+}
+
+// postingLayout reports how many of the engine's group tuple bitmaps are
+// container-compressed vs dense, computed once and cached.
+func (e *Engine) postingLayout() (compressed, dense int) {
+	e.layoutOnce.Do(func() {
+		for _, g := range e.Groups {
+			if g.Tuples.IsCompressed() {
+				e.postingCompressed++
+			} else {
+				e.postingDense++
+			}
+		}
+	})
+	return e.postingCompressed, e.postingDense
 }
 
 // PrewarmMatrices builds every pair matrix a spec's constraints and
@@ -219,6 +253,46 @@ type Result struct {
 	// from examined ones — they were proven unable to beat the incumbent,
 	// never evaluated.
 	CandidatesPruned int64
+	// Stages is the per-phase wall-time breakdown of the run, keyed by the
+	// Stage* constants. Repeated phases (SM-LSH relaxation rounds) merge
+	// into one entry per name; entries appear in first-occurrence order.
+	Stages []Stage
+	// MatrixBuilds counts pair matrices this run materialized from
+	// scratch; MatrixHits counts bindings served from the engine cache.
+	MatrixBuilds int
+	MatrixHits   int
+	// PostingsCompressed/PostingsDense census the engine's group posting
+	// bitmaps by layout (per engine, not per run — stamped for reporting).
+	PostingsCompressed int
+	PostingsDense      int
+}
+
+// Stage is one named phase of a solver run with its accumulated wall time.
+type Stage struct {
+	Name string        `json:"stage"`
+	Wall time.Duration `json:"wall"`
+}
+
+// addStage accumulates wall time under a stage name, merging repeats.
+func (r *Result) addStage(name string, d time.Duration) {
+	for i := range r.Stages {
+		if r.Stages[i].Name == name {
+			r.Stages[i].Wall += d
+			return
+		}
+	}
+	r.Stages = append(r.Stages, Stage{Name: name, Wall: d})
+}
+
+// StageWall returns the accumulated wall time of a named stage (0 when
+// the run never entered it).
+func (r *Result) StageWall(name string) time.Duration {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s.Wall
+		}
+	}
+	return 0
 }
 
 // Describe renders the result's groups through the store dictionaries.
@@ -233,6 +307,7 @@ func (r Result) Describe(s *store.Store) []string {
 // finish stamps common result fields.
 func (e *Engine) finish(r *Result, spec ProblemSpec, start time.Time) {
 	r.Elapsed = time.Since(start)
+	r.PostingsCompressed, r.PostingsDense = e.postingLayout()
 	if r.Found {
 		r.Objective = e.ObjectiveScore(r.Groups, spec)
 		r.Support = groups.Support(r.Groups)

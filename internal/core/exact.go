@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -60,8 +61,16 @@ type ExactOptions struct {
 // are cut wholesale. Pruning never changes Found, the argmax set, Objective
 // or Support — only how the enumeration size splits between
 // CandidatesExamined and CandidatesPruned.
-func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
+// Cancellation: the DFS checks ctx between subtrees (every
+// exactCancelCheck leaves), so a server timeout or client disconnect
+// stops the enumeration within a bounded slice of work instead of
+// running to completion; the run then returns ctx.Err() with an empty
+// result. The per-leaf cost of the check is one integer increment.
+func (e *Engine) Exact(ctx context.Context, spec ProblemSpec, opts ExactOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
@@ -88,24 +97,40 @@ func (e *Engine) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
 	// One scorer materializes (or fetches from the engine cache) the pair
 	// matrices behind the spec; workers share its immutable matrices and
 	// keep all mutable DFS state private.
-	sc := e.scorer(spec)
 	res := Result{Algorithm: "Exact"}
+	mt := startStage(ctx, &res, StageMatrix)
+	sc := e.scorer(spec)
+	mt.end()
+	res.MatrixBuilds, res.MatrixHits = sc.builds, sc.hits
+
 	prune := !opts.DisablePruning
+	et := startStage(ctx, &res, StageEnumerate)
+	cancelled := false
 	if opts.Parallel {
-		e.exactParallel(spec, sc, prune, &res)
+		cancelled = e.exactParallel(ctx, spec, sc, prune, &res)
 	} else {
-		w := newExactWorker(e, spec, sc, 0, prune)
+		w := newExactWorker(ctx, e, spec, sc, 0, prune)
 		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 			w.enumerate(0, k, 1)
 		}
+		cancelled = w.cancelled
 		res.CandidatesExamined = w.examined
 		res.CandidatesPruned = w.pruned
 		res.Found = w.found
 		res.Groups = w.best
 	}
+	et.end()
+	if cancelled {
+		return Result{Algorithm: res.Algorithm}, ctx.Err()
+	}
 	e.finish(&res, spec, start)
 	return res, nil
 }
+
+// exactCancelCheck is how many leaves a worker visits between ctx polls
+// — large enough that the poll is invisible on the hot path, small
+// enough that cancellation lands within tens of microseconds of work.
+const exactCancelCheck = 4096
 
 // exactWorker explores one shard of the candidate space: first elements i
 // with i % stride == offset (offset encoded by the initial call), then all
@@ -162,18 +187,25 @@ type exactWorker struct {
 	examined  int64
 	pruned    int64
 	offset    int
+
+	// ctx is polled every exactCancelCheck leaves; once it reports an
+	// error, cancelled short-circuits the rest of the DFS.
+	ctx        context.Context
+	sinceCheck int
+	cancelled  bool
 }
 
 // newExactWorker builds one worker's mutable DFS state over the scorer's
 // shared immutable matrices (sc's own scratch-mutating methods are never
 // called here).
-func newExactWorker(e *Engine, spec ProblemSpec, sc *matrixScorer, offset int, prune bool) *exactWorker {
+func newExactWorker(ctx context.Context, e *Engine, spec ProblemSpec, sc *matrixScorer, offset int, prune bool) *exactWorker {
 	kMax := spec.KHi
 	if n := len(e.Groups); kMax > n {
 		kMax = n
 	}
 	w := &exactWorker{
 		engine:   e,
+		ctx:      ctx,
 		spec:     spec,
 		objMats:  sc.objMats,
 		conMats:  sc.conMats,
@@ -349,9 +381,19 @@ func (w *exactWorker) cannotBeat(r int) bool {
 // enumerate recursively extends the worker's candidate set; stride shards
 // only the outermost level (depth == full k).
 func (w *exactWorker) enumerate(startIdx, k, stride int) {
+	if w.cancelled {
+		return
+	}
 	n := len(w.engine.Groups)
 	if k == 0 {
 		w.examined++
+		if w.sinceCheck++; w.sinceCheck >= exactCancelCheck {
+			w.sinceCheck = 0
+			if w.ctx.Err() != nil {
+				w.cancelled = true
+				return
+			}
+		}
 		if !w.leafFeasible() {
 			return
 		}
@@ -394,7 +436,7 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 // deterministically: highest score wins, ties go to the candidate that the
 // serial enumeration would have met first (smaller size, then smaller
 // group IDs).
-func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, prune bool, res *Result) {
+func (e *Engine) exactParallel(ctx context.Context, spec ProblemSpec, sc *matrixScorer, prune bool, res *Result) (cancelled bool) {
 	n := len(e.Groups)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -414,7 +456,7 @@ func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, prune bool, r
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := newExactWorker(e, spec, sc, wi, prune)
+			w := newExactWorker(ctx, e, spec, sc, wi, prune)
 			results[wi] = w
 			for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 				w.enumerate(0, k, workers)
@@ -423,6 +465,7 @@ func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, prune bool, r
 	}
 	wg.Wait()
 	for _, w := range results {
+		cancelled = cancelled || w.cancelled
 		res.CandidatesExamined += w.examined
 		res.CandidatesPruned += w.pruned
 		if !w.found {
@@ -435,6 +478,7 @@ func (e *Engine) exactParallel(spec ProblemSpec, sc *matrixScorer, prune bool, r
 			res.Objective = w.bestScore
 		}
 	}
+	return cancelled
 }
 
 func resScore(r *Result) float64 { return r.Objective }

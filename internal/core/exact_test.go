@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -30,11 +32,11 @@ func TestExactParallelMatchesSerial(t *testing.T) {
 	e := buildEngine(t)
 	for id := 1; id <= 6; id++ {
 		spec, _ := PaperProblem(id, 3, 5, 0.5, 0.5)
-		serial, err := e.Exact(spec, ExactOptions{})
+		serial, err := e.Exact(context.Background(), spec, ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := e.Exact(spec, ExactOptions{Parallel: true})
+		parallel, err := e.Exact(context.Background(), spec, ExactOptions{Parallel: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +80,7 @@ func TestCandidateCountSemantics(t *testing.T) {
 		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
 			total += binomial(n, k)
 		}
-		off, err := e.Exact(spec, ExactOptions{DisablePruning: true})
+		off, err := e.Exact(context.Background(), spec, ExactOptions{DisablePruning: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +92,7 @@ func TestCandidateCountSemantics(t *testing.T) {
 			t.Fatalf("problem %d: pruning off reported %d pruned", id, off.CandidatesPruned)
 		}
 		for _, parallel := range []bool{false, true} {
-			on, err := e.Exact(spec, ExactOptions{Parallel: parallel})
+			on, err := e.Exact(context.Background(), spec, ExactOptions{Parallel: parallel})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,7 +141,7 @@ func TestMatrixAndBoundCacheRace(t *testing.T) {
 		go func(wi int) {
 			defer wg.Done()
 			for iter := 0; iter < 8; iter++ {
-				if _, err := e.Exact(spec, ExactOptions{Parallel: wi%2 == 0}); err != nil {
+				if _, err := e.Exact(context.Background(), spec, ExactOptions{Parallel: wi%2 == 0}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -156,11 +158,11 @@ func TestMatrixAndBoundCacheRace(t *testing.T) {
 	if got := m.MaxRows()[0]; got != 0.5 {
 		t.Fatalf("post-race bound vector serves %v, want 0.5", got)
 	}
-	res, err := e.Exact(spec, ExactOptions{})
+	res, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := e.Exact(spec, ExactOptions{DisablePruning: true})
+	off, err := e.Exact(context.Background(), spec, ExactOptions{DisablePruning: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestExactParallelDeterministic(t *testing.T) {
 	spec, _ := PaperProblem(1, 3, 5, 0.5, 0.5)
 	var firstIDs []int
 	for run := 0; run < 3; run++ {
-		res, err := e.Exact(spec, ExactOptions{Parallel: true})
+		res, err := e.Exact(context.Background(), spec, ExactOptions{Parallel: true})
 		if err != nil {
 			t.Fatal(err)
 		}

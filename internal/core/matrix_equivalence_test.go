@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -86,7 +88,7 @@ func TestExactMatchesNaiveReference(t *testing.T) {
 		for _, parallel := range []bool{false, true} {
 			for _, disablePruning := range []bool{false, true} {
 				label := fmt.Sprintf("%s parallel=%v pruning=%v", spec.Name, parallel, !disablePruning)
-				res, err := e.Exact(spec, ExactOptions{Parallel: parallel, DisablePruning: disablePruning})
+				res, err := e.Exact(context.Background(), spec, ExactOptions{Parallel: parallel, DisablePruning: disablePruning})
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -195,7 +197,7 @@ func TestExactCandidateLoopAllocationFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.PrewarmMatrices(spec)
-	res, err := e.Exact(spec, ExactOptions{})
+	res, err := e.Exact(context.Background(), spec, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func TestExactCandidateLoopAllocationFree(t *testing.T) {
 		t.Fatalf("world too small to prove anything: %d candidates", total)
 	}
 	avg := testing.AllocsPerRun(10, func() {
-		if _, err := e.Exact(spec, ExactOptions{}); err != nil {
+		if _, err := e.Exact(context.Background(), spec, ExactOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	})

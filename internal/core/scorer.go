@@ -27,6 +27,11 @@ type matrixScorer struct {
 	ids      []int         // reusable id buffer for set-based callers
 	scratch  *store.Bitmap // reusable support union for k >= 3, lazily built
 	universe int           // scratch universe (the store's tuple count)
+
+	// builds/hits record the engine matrix-cache outcome per binding this
+	// scorer materialized; solvers copy them onto Result.
+	builds int
+	hits   int
 }
 
 // scorer builds a matrix scorer for spec, lazily materializing any missing
@@ -40,12 +45,24 @@ func (e *Engine) scorer(spec ProblemSpec) *matrixScorer {
 		universe: e.Store.Len(),
 	}
 	for i, o := range spec.Objectives {
-		s.objMats[i] = e.PairMatrix(o.Dim, o.Meas)
+		m, built := e.pairMatrixTracked(o.Dim, o.Meas)
+		s.objMats[i] = m
+		s.note(built)
 	}
 	for i, c := range spec.Constraints {
-		s.conMats[i] = e.PairMatrix(c.Dim, c.Meas)
+		m, built := e.pairMatrixTracked(c.Dim, c.Meas)
+		s.conMats[i] = m
+		s.note(built)
 	}
 	return s
+}
+
+func (s *matrixScorer) note(built bool) {
+	if built {
+		s.builds++
+	} else {
+		s.hits++
+	}
 }
 
 // objectiveBounds returns, per objective binding, the matrix's max-row

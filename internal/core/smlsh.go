@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -76,7 +77,10 @@ func (o LSHOptions) withDefaults() LSHOptions {
 // snapshot) then score from pure lookups. For one-shot runs over very
 // large group universes, prefer engines that outlive the query (or the
 // server's per-epoch sharing); adaptive gating is a roadmap item.
-func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
+// Cancellation: ctx is checked once per relaxation round (each round is
+// one LSH build plus one full bucket scan, the unit of work here); a
+// cancelled run returns ctx.Err() with an empty result.
+func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -93,8 +97,13 @@ func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
 
 	// One matrix-backed scorer serves every relaxation round: bucket
 	// feasibility and ranking read precomputed pair values.
+	mt := startStage(ctx, &res, StageMatrix)
 	scorer := e.scorer(spec)
+	mt.end()
+	res.MatrixBuilds, res.MatrixHits = scorer.builds, scorer.hits
+	ht := startStage(ctx, &res, StageLSHBuild)
 	vectors := e.hashVectors(spec, opts.Mode)
+	ht.end()
 
 	// Binary-search relaxation over d' (Algorithm 1): try the current d';
 	// on a null result, move to a coarser partition (fewer hyperplanes =>
@@ -107,11 +116,18 @@ func (e *Engine) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
 	dprime := opts.DPrime
 	var fallback []*groups.Group
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{Algorithm: name}, err
+		}
+		bt := startStage(ctx, &res, StageLSHBuild)
 		idx, err := lsh.Build(vectors, lsh.Params{DPrime: dprime, L: opts.L, Seed: opts.Seed})
+		bt.end()
 		if err != nil {
 			return Result{}, err
 		}
+		st := startStage(ctx, &res, StageBucketScan)
 		found, single, examined := e.bestBucket(idx, spec, opts, scorer)
+		st.end()
 		res.CandidatesExamined += examined
 		if found != nil {
 			res.Found = true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"tagdm/internal/groups"
@@ -130,7 +132,7 @@ func TestTrimBucketRespectsSupportFloor(t *testing.T) {
 func TestSMLSHStrictBucketMode(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	res, err := e.SMLSH(spec, LSHOptions{DPrime: 10, L: 1, Seed: 7, Mode: Fold, StrictBucketSize: true})
+	res, err := e.SMLSH(context.Background(), spec, LSHOptions{DPrime: 10, L: 1, Seed: 7, Mode: Fold, StrictBucketSize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +152,11 @@ func TestSMLSHStrictBucketMode(t *testing.T) {
 func TestSMLSHDeterministicWithSeed(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	a, err := e.SMLSH(spec, LSHOptions{Seed: 42, Mode: Fold})
+	a, err := e.SMLSH(context.Background(), spec, LSHOptions{Seed: 42, Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.SMLSH(spec, LSHOptions{Seed: 42, Mode: Fold})
+	b, err := e.SMLSH(context.Background(), spec, LSHOptions{Seed: 42, Mode: Fold})
 	if err != nil {
 		t.Fatal(err)
 	}

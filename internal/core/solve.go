@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // SolveOptions bundles the per-family options for the Solve dispatcher.
 type SolveOptions struct {
 	LSH LSHOptions
@@ -9,12 +11,16 @@ type SolveOptions struct {
 // Solve dispatches a spec to the appropriate approximate algorithm family,
 // mirroring Table 2 of the paper: similarity-only objectives go to the
 // SM-LSH family; anything involving a diversity objective goes to DV-FDP.
-func (e *Engine) Solve(spec ProblemSpec, opts SolveOptions) (Result, error) {
+//
+// The context propagates cancellation into the solver loops (a cancelled
+// ctx stops work at the next checkpoint and returns ctx.Err()) and, when
+// it carries an obs trace span, collects per-stage child spans.
+func (e *Engine) Solve(ctx context.Context, spec ProblemSpec, opts SolveOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
 	if spec.OptimizesSimilarityOnly() {
-		return e.SMLSH(spec, opts.LSH)
+		return e.SMLSH(ctx, spec, opts.LSH)
 	}
-	return e.DVFDP(spec, opts.FDP)
+	return e.DVFDP(ctx, spec, opts.FDP)
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -52,7 +54,7 @@ func Ablations(st *Setup, p Params) (AblationTable, error) {
 		return t, err
 	}
 	addLSH := func(sweep, variant string, opts core.LSHOptions) error {
-		res, err := st.Engine.SMLSH(simSpec, opts)
+		res, err := st.Engine.SMLSH(context.Background(), simSpec, opts)
 		if err != nil {
 			return err
 		}
@@ -60,7 +62,7 @@ func Ablations(st *Setup, p Params) (AblationTable, error) {
 		return nil
 	}
 	addFDP := func(sweep, variant string, opts core.FDPOptions) error {
-		res, err := st.Engine.DVFDP(divSpec, opts)
+		res, err := st.Engine.DVFDP(context.Background(), divSpec, opts)
 		if err != nil {
 			return err
 		}
@@ -186,15 +188,15 @@ func KSweep(st *Setup, p Params, ks []int) (KSweepTable, error) {
 		if err != nil {
 			return KSweepTable{}, err
 		}
-		serial, err := exactEng.Exact(spec, core.ExactOptions{})
+		serial, err := exactEng.Exact(context.Background(), spec, core.ExactOptions{})
 		if err != nil {
 			return KSweepTable{}, err
 		}
-		par, err := exactEng.Exact(spec, core.ExactOptions{Parallel: true})
+		par, err := exactEng.Exact(context.Background(), spec, core.ExactOptions{Parallel: true})
 		if err != nil {
 			return KSweepTable{}, err
 		}
-		app, err := st.Engine.SMLSH(spec, core.LSHOptions{
+		app, err := st.Engine.SMLSH(context.Background(), spec, core.LSHOptions{
 			DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Fold})
 		if err != nil {
 			return KSweepTable{}, err

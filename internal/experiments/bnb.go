@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -64,11 +66,11 @@ func BnBSweep(st *Setup, p Params) (BnBTable, error) {
 		}
 		exactEng.PrewarmMatrices(spec)
 		for _, parallel := range []bool{false, true} {
-			oracle, err := exactEng.Exact(spec, core.ExactOptions{Parallel: parallel, DisablePruning: true})
+			oracle, err := exactEng.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel, DisablePruning: true})
 			if err != nil {
 				return BnBTable{}, err
 			}
-			pruned, err := exactEng.Exact(spec, core.ExactOptions{Parallel: parallel})
+			pruned, err := exactEng.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel})
 			if err != nil {
 				return BnBTable{}, err
 			}

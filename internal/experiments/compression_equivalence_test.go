@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -92,11 +94,11 @@ func TestSolverEquivalenceCompressionForced(t *testing.T) {
 		}
 
 		for _, parallel := range []bool{false, true} {
-			want, err := ex.Exact(spec, core.ExactOptions{Parallel: parallel})
+			want, err := ex.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel})
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := exC.Exact(spec, core.ExactOptions{Parallel: parallel})
+			got, err := exC.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -109,11 +111,11 @@ func TestSolverEquivalenceCompressionForced(t *testing.T) {
 			LSH: core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: 1, Mode: core.Fold},
 			FDP: core.FDPOptions{Mode: core.Fold},
 		}
-		want, err := st.Engine.Solve(spec, opts)
+		want, err := st.Engine.Solve(context.Background(), spec, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := stC.Engine.Solve(spec, opts)
+		got, err := stC.Engine.Solve(context.Background(), spec, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 
 	"tagdm/internal/core"
@@ -70,7 +72,7 @@ func TestExactEquivalenceOnCorpus(t *testing.T) {
 		}
 		wantFound, wantIDs, wantScore := naiveExactRef(ex, spec)
 		for _, parallel := range []bool{false, true} {
-			res, err := ex.Exact(spec, core.ExactOptions{Parallel: parallel})
+			res, err := ex.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel})
 			if err != nil {
 				t.Fatalf("problem %d parallel=%v: %v", id, parallel, err)
 			}

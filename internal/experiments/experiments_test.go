@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -183,7 +185,7 @@ func TestRunHandlesExactError(t *testing.T) {
 	spec, _ := core.PaperProblem(1, 3, 0, 0.5, 0.5)
 	// Force an error inside the runner: candidate cap of 1.
 	row := run(st.Engine, spec, "Exact", func() (core.Result, error) {
-		return st.Engine.Exact(spec, core.ExactOptions{MaxCandidates: 1})
+		return st.Engine.Exact(context.Background(), spec, core.ExactOptions{MaxCandidates: 1})
 	})
 	if row.Found {
 		t.Fatal("error run reported found")

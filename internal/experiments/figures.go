@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -98,13 +100,13 @@ func SimilarityProblems(st *Setup, p Params) (Table, error) {
 		}
 		t.Rows = append(t.Rows,
 			run(exactEng, spec, "Exact", func() (core.Result, error) {
-				return exactEng.Exact(spec, core.ExactOptions{})
+				return exactEng.Exact(context.Background(), spec, core.ExactOptions{})
 			}),
 			run(st.Engine, spec, "SM-LSH-Fi", func() (core.Result, error) {
-				return st.Engine.SMLSH(spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Filter})
+				return st.Engine.SMLSH(context.Background(), spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Filter})
 			}),
 			run(st.Engine, spec, "SM-LSH-Fo", func() (core.Result, error) {
-				return st.Engine.SMLSH(spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Fold})
+				return st.Engine.SMLSH(context.Background(), spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Fold})
 			}),
 		)
 	}
@@ -126,13 +128,13 @@ func DiversityProblems(st *Setup, p Params) (Table, error) {
 		}
 		t.Rows = append(t.Rows,
 			run(exactEng, spec, "Exact", func() (core.Result, error) {
-				return exactEng.Exact(spec, core.ExactOptions{})
+				return exactEng.Exact(context.Background(), spec, core.ExactOptions{})
 			}),
 			run(st.Engine, spec, "DV-FDP-Fi", func() (core.Result, error) {
-				return st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Filter})
+				return st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Filter})
 			}),
 			run(st.Engine, spec, "DV-FDP-Fo", func() (core.Result, error) {
-				return st.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+				return st.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold})
 			}),
 		)
 	}
@@ -201,16 +203,16 @@ func TupleSweep(st *Setup, p Params, fractions []float64) (BinTable, error) {
 				return BinTable{}, err
 			}
 			ex := run(exactEng, spec, "Exact", func() (core.Result, error) {
-				return exactEng.Exact(spec, core.ExactOptions{})
+				return exactEng.Exact(context.Background(), spec, core.ExactOptions{})
 			})
 			var ap Row
 			if pc.id == 1 {
 				ap = run(bin.Engine, spec, pc.algo, func() (core.Result, error) {
-					return bin.Engine.SMLSH(spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: bin.Config.Seed, Mode: core.Fold})
+					return bin.Engine.SMLSH(context.Background(), spec, core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: bin.Config.Seed, Mode: core.Fold})
 				})
 			} else {
 				ap = run(bin.Engine, spec, pc.algo, func() (core.Result, error) {
-					return bin.Engine.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+					return bin.Engine.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold})
 				})
 			}
 			for _, r := range []Row{ex, ap} {
@@ -302,7 +304,7 @@ func CaseStudy(st *Setup, conds map[string]string, problemID int, p Params) ([]s
 	if err != nil {
 		return nil, err
 	}
-	res, err := sub.Engine.Solve(spec, core.SolveOptions{
+	res, err := sub.Engine.Solve(context.Background(), spec, core.SolveOptions{
 		LSH: core.LSHOptions{DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Fold},
 		FDP: core.FDPOptions{Mode: core.Fold},
 	})

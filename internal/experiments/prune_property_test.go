@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -252,14 +254,14 @@ func TestExactPruningPropertyRandomCorpora(t *testing.T) {
 				for _, parallel := range []bool{false, true} {
 					label := fmt.Sprintf("u=%d d=%g %s %s parallel=%v",
 						c.universe, c.density, layout, spec.Name, parallel)
-					oracle, err := e.Exact(spec, core.ExactOptions{Parallel: parallel, DisablePruning: true})
+					oracle, err := e.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel, DisablePruning: true})
 					if err != nil {
 						t.Fatalf("%s: %v", label, err)
 					}
 					if oracle.CandidatesPruned != 0 {
 						t.Fatalf("%s: oracle pruned %d", label, oracle.CandidatesPruned)
 					}
-					pruned, err := e.Exact(spec, core.ExactOptions{Parallel: parallel})
+					pruned, err := e.Exact(context.Background(), spec, core.ExactOptions{Parallel: parallel})
 					if err != nil {
 						t.Fatalf("%s: %v", label, err)
 					}
@@ -292,11 +294,11 @@ func TestSolverLayoutEquivalenceRandomCorpora(t *testing.T) {
 			other := c.engine(t, layout)
 			for _, spec := range specs {
 				label := fmt.Sprintf("u=%d d=%g %s vs dense %s", c.universe, c.density, layout, spec.Name)
-				want, err := dense.Exact(spec, core.ExactOptions{})
+				want, err := dense.Exact(context.Background(), spec, core.ExactOptions{})
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
-				got, err := other.Exact(spec, core.ExactOptions{})
+				got, err := other.Exact(context.Background(), spec, core.ExactOptions{})
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -312,11 +314,11 @@ func TestSolverLayoutEquivalenceRandomCorpora(t *testing.T) {
 					LSH: core.LSHOptions{DPrime: 6, L: 2, Seed: 9, Mode: core.Fold},
 					FDP: core.FDPOptions{Mode: core.Fold},
 				}
-				wantA, err := dense.Solve(spec, opts)
+				wantA, err := dense.Solve(context.Background(), spec, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
-				gotA, err := other.Solve(spec, opts)
+				gotA, err := other.Solve(context.Background(), spec, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}

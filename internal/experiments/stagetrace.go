@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"tagdm/internal/core"
+)
+
+// StageRow is one per-stage wall-time measurement of one solver run.
+type StageRow struct {
+	Problem   string
+	Algorithm string
+	Stage     string
+	Wall      time.Duration
+}
+
+// StageTraceTable is the per-stage timing breakdown behind the -trace
+// trajectory: where each solver family spends its time (matrix builds,
+// enumeration, LSH rounds, greedy sweeps, local search).
+type StageTraceTable struct {
+	Title string
+	Rows  []StageRow
+}
+
+// Render formats the breakdown with aligned columns.
+func (t StageTraceTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	fmt.Fprintf(&b, "%-12s %-12s %-14s %12s\n", "problem", "algorithm", "stage", "time")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s %-12s %-14s %12s\n",
+			r.Problem, r.Algorithm, r.Stage, r.Wall.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// StageTraces runs one similarity problem and one diversity problem
+// through the exact and approximate solvers and reports each run's
+// per-stage wall times (core.Result.Stages) plus a total row. Stage
+// timings are recorded unconditionally by the solvers, so this measures
+// the same windows the server's tagdm_solve_stage_seconds histograms
+// observe.
+func StageTraces(st *Setup, p Params) (StageTraceTable, error) {
+	exactEng, err := st.ExactEngine()
+	if err != nil {
+		return StageTraceTable{}, err
+	}
+	out := StageTraceTable{Title: "Per-stage solver timing"}
+	add := func(spec core.ProblemSpec, algo string, res core.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, stg := range res.Stages {
+			out.Rows = append(out.Rows, StageRow{spec.Name, algo, stg.Name, stg.Wall})
+		}
+		out.Rows = append(out.Rows, StageRow{spec.Name, algo, "total", res.Elapsed})
+		return nil
+	}
+
+	sim, err := core.PaperProblem(1, p.K, p.support(st), p.Q, p.R)
+	if err != nil {
+		return StageTraceTable{}, err
+	}
+	res, err := exactEng.Exact(context.Background(), sim, core.ExactOptions{})
+	if err := add(sim, "Exact", res, err); err != nil {
+		return StageTraceTable{}, err
+	}
+	res, err = st.Engine.SMLSH(context.Background(), sim, core.LSHOptions{
+		DPrime: p.DPrime, L: p.L, Seed: st.Config.Seed, Mode: core.Fold})
+	if err := add(sim, "SM-LSH-Fo", res, err); err != nil {
+		return StageTraceTable{}, err
+	}
+
+	div, err := core.PaperProblem(6, p.K, p.support(st), p.Q, p.R)
+	if err != nil {
+		return StageTraceTable{}, err
+	}
+	res, err = exactEng.Exact(context.Background(), div, core.ExactOptions{})
+	if err := add(div, "Exact", res, err); err != nil {
+		return StageTraceTable{}, err
+	}
+	res, err = st.Engine.DVFDP(context.Background(), div, core.FDPOptions{Mode: core.Fold})
+	if err := add(div, "DV-FDP-Fo", res, err); err != nil {
+		return StageTraceTable{}, err
+	}
+	return out, nil
+}

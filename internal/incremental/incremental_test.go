@@ -1,6 +1,8 @@
 package incremental
 
 import (
+	"context"
+
 	"testing"
 
 	"tagdm/internal/core"
@@ -255,7 +257,7 @@ func TestRefreshEngineSolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.DVFDP(spec, core.FDPOptions{Mode: core.Fold})
+	res, err := eng.DVFDP(context.Background(), spec, core.FDPOptions{Mode: core.Fold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +343,7 @@ func TestSnapshotIsolatedFromLaterInserts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := snap.Engine.Solve(spec, core.SolveOptions{}); err != nil {
+	if _, err := snap.Engine.Solve(context.Background(), spec, core.SolveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// cpuTime is unavailable without getrusage; spans report zero CPU.
+func cpuTime() time.Duration { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative CPU time (user + system).
+// Per-span CPU deltas computed from it attribute whole-process CPU to
+// the span's window, which is exact for serial solver stages and an
+// upper bound when other goroutines run concurrently.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewJSONLogger returns a structured logger emitting one JSON object per
+// line, the format used for access and slow-query logs. Level defaults
+// to Info; pass slog.LevelDebug to also see per-request debug detail.
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	root := NewTrace("request")
+	root.SetAttr("request_id", "abc123")
+	ctx := WithSpan(context.Background(), root)
+
+	cache := StartSpan(ctx, "cache")
+	cache.SetAttr("hit", false)
+	cache.End()
+
+	solve := StartSpan(ctx, "solve")
+	sctx := WithSpan(ctx, solve)
+	matrix := StartSpan(sctx, "matrix")
+	time.Sleep(time.Millisecond)
+	matrix.End()
+	solve.End()
+	root.End()
+
+	tree := root.Tree()
+	if tree.Name != "request" {
+		t.Fatalf("root name = %q", tree.Name)
+	}
+	if got := tree.Attrs["request_id"]; got != "abc123" {
+		t.Fatalf("request_id attr = %v", got)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Children))
+	}
+	if tree.Find("cache") == nil || tree.Find("solve") == nil {
+		t.Fatal("missing cache/solve spans")
+	}
+	m := tree.Find("matrix")
+	if m == nil {
+		t.Fatal("matrix span not nested under tree")
+	}
+	if m.WallMs <= 0 {
+		t.Fatalf("matrix wall = %v, want > 0", m.WallMs)
+	}
+	if s := tree.Find("solve"); s.WallMs < m.WallMs {
+		t.Fatalf("solve wall %v < child matrix wall %v", s.WallMs, m.WallMs)
+	}
+	if _, err := json.Marshal(tree); err != nil {
+		t.Fatalf("tree not JSON-marshalable: %v", err)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetAttr("k", 1)
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.Tree() != nil {
+		t.Fatal("nil span produced a tree")
+	}
+	if s.Wall() != 0 || s.Name() != "" {
+		t.Fatal("nil span reported data")
+	}
+	if sp := StartSpan(context.Background(), "x"); sp != nil {
+		t.Fatal("StartSpan without trace returned non-nil")
+	}
+}
+
+// The solver hot paths call StartSpan/End/SetAttr unconditionally; with
+// no trace attached the whole path must not allocate.
+func TestUntracedSpanPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(ctx, "stage")
+		sp.SetAttr("k", 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request id lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatal("consecutive request ids collide")
+	}
+	ctx := ContextWithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Fatalf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context request id = %q", got)
+	}
+}
+
+func TestRegistryRenderRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.CounterVec("tagdm_requests_total", "Requests by endpoint.", "endpoint")
+	reqs.With("analyze").Add(3)
+	reqs.With("actions").Inc()
+	g := r.Gauge("tagdm_groups", "Active groups.")
+	g.Set(42)
+	r.GaugeFunc("tagdm_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	gv := r.GaugeVec("tagdm_postings", `Posting lists by layout with "quotes" and back\slash.`, "layout")
+	gv.With(`weird"value`).Set(7)
+	gv.With(`back\slash`).Set(8)
+	h := r.HistogramVec("tagdm_solve_seconds", "Solve latency.", []float64{0.001, 0.01, 0.1}, "family")
+	h.With("exact").Observe(0.001) // boundary: must land in le=0.001
+	h.With("exact").Observe(0.05)
+	h.With("exact").Observe(3)
+	h.With("smlsh").Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	p, err := ParsePrometheus([]byte(text))
+	if err != nil {
+		t.Fatalf("rendered text does not parse: %v\n%s", err, text)
+	}
+	if v, ok := p.Sample("tagdm_requests_total", "endpoint", "analyze"); !ok || v != 3 {
+		t.Fatalf("analyze counter = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_groups"); !ok || v != 42 {
+		t.Fatalf("groups gauge = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_uptime_seconds"); !ok || v != 1.5 {
+		t.Fatalf("uptime gauge func = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_postings", "layout", `weird"value`); !ok || v != 7 {
+		t.Fatalf("escaped label round-trip = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_postings", "layout", `back\slash`); !ok || v != 8 {
+		t.Fatalf("backslash label round-trip = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_solve_seconds_bucket", "family", "exact", "le", "0.001"); !ok || v != 1 {
+		t.Fatalf("boundary bucket = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_solve_seconds_bucket", "family", "exact", "le", "+Inf"); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_solve_seconds_count", "family", "exact"); !ok || v != 3 {
+		t.Fatalf("hist count = %v %v", v, ok)
+	}
+	if v, ok := p.Sample("tagdm_solve_seconds_sum", "family", "exact"); !ok || math.Abs(v-3.051) > 1e-9 {
+		t.Fatalf("hist sum = %v %v", v, ok)
+	}
+	if p.Types["tagdm_requests_total"] != "counter" || p.Types["tagdm_solve_seconds"] != "histogram" {
+		t.Fatalf("types = %v", p.Types)
+	}
+	if !strings.Contains(p.Help["tagdm_postings"], `back\\slash`) {
+		t.Fatalf("help not escaped: %q", p.Help["tagdm_postings"])
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "x", DefaultLatencyBuckets())
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean != 0")
+	}
+	h.Observe(1)
+	h.Observe(3)
+	if h.Count() != 2 || h.Sum() != 4 || h.Mean() != 2 {
+		t.Fatalf("count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	mustPanic("duplicate", func() { r.Counter("dup_total", "x") })
+	mustPanic("bad name", func() { r.Counter("bad-name", "x") })
+	mustPanic("bad label", func() { r.CounterVec("ok_total", "x", "bad-label") })
+	mustPanic("le label", func() { r.HistogramVec("h_seconds", "x", []float64{1}, "le") })
+	mustPanic("bad buckets", func() { r.Histogram("h2_seconds", "x", []float64{1, 1}) })
+	v := r.CounterVec("labeled_total", "x", "a", "b")
+	mustPanic("arity", func() { v.With("only-one") })
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":                "foo 1\n",
+		"histogram base sample":  "# TYPE h histogram\nh 1\n",
+		"untyped bucket":         "h_bucket{le=\"1\"} 1\n",
+		"bad value":              "# TYPE foo counter\nfoo nope\n",
+		"bad name":               "# TYPE foo counter\n1foo 2\n",
+		"duplicate series":       "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"duplicate type":         "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"type after sample":      "# HELP foo x\nfoo 1\n# TYPE foo counter\n",
+		"unterminated labels":    "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"bad escape":             "# TYPE foo counter\nfoo{a=\"\\q\"} 1\n",
+		"duplicate label":        "# TYPE foo counter\nfoo{a=\"1\",a=\"2\"} 1\n",
+		"interior blank line":    "# TYPE foo counter\n\nfoo 1\n",
+		"missing inf bucket":     "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum":            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"unsorted le":            "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePrometheus([]byte(text)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, text)
+		}
+	}
+}
+
+func TestParserAcceptsValidCorners(t *testing.T) {
+	text := "# random comment\n" +
+		"# TYPE foo counter\n" +
+		"# HELP foo A counter with \\\\ escapes.\n" +
+		"foo{a=\"x\"} 1 1712345678\n" +
+		"foo 2e+06\n" +
+		"# TYPE bar gauge\n" +
+		"bar NaN\n"
+	p, err := ParsePrometheus([]byte(text))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if v, ok := p.Sample("foo"); !ok || v != 2e6 {
+		t.Fatalf("scientific value = %v %v", v, ok)
+	}
+	if len(p.Samples) != 3 {
+		t.Fatalf("samples = %d", len(p.Samples))
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("c_total", "x", "w")
+	h := r.HistogramVec("h_seconds", "x", []float64{0.01, 0.1}, "w")
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			lbl := string(rune('a' + w%2))
+			for i := 0; i < 1000; i++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(0.05)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if total := c.With("a").Value() + c.With("b").Value(); total != 4000 {
+		t.Fatalf("counter total = %d", total)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus([]byte(b.String())); err != nil {
+		t.Fatalf("concurrent render does not parse: %v", err)
+	}
+}

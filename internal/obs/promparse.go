@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict parser for the Prometheus text exposition format
+// (version 0.0.4). It exists so the /metrics endpoint can be validated
+// end-to-end: the format test and the CI smoke job feed the live
+// endpoint output through ParsePrometheus and fail on the first line
+// that does not round-trip. It is deliberately stricter than real
+// Prometheus scrapers: every sample must belong to a TYPE-declared
+// family, histogram buckets must be cumulative and closed by +Inf, and
+// duplicate series are rejected.
+
+// Sample is one parsed metric line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromText is the parsed form of a text-format exposition.
+type PromText struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram|summary|untyped
+	Help    map[string]string
+}
+
+// Sample returns the value of the sample matching name and labels
+// (given as alternating key, value pairs), and whether it was found.
+func (p *PromText) Sample(name string, kv ...string) (float64, bool) {
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+outer:
+	for _, s := range p.Samples {
+		if s.Name != name || len(s.Labels) != len(kv)/2 {
+			continue
+		}
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue outer
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// HasFamily reports whether any sample belongs to the named family
+// (histogram samples count toward their base name).
+func (p *PromText) HasFamily(name string) bool {
+	_, ok := p.Types[name]
+	return ok
+}
+
+// ParsePrometheus parses and validates a text-format exposition. Any
+// deviation — malformed names, bad escapes, samples without a TYPE,
+// non-cumulative or unterminated histogram buckets, duplicate series —
+// returns an error naming the offending line.
+func ParsePrometheus(data []byte) (*PromText, error) {
+	p := &PromText{Types: make(map[string]string), Help: make(map[string]string)}
+	seen := make(map[string]bool) // duplicate-series detection
+	sawSample := make(map[string]bool)
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			if i == len(lines)-1 {
+				continue // trailing newline
+			}
+			return nil, fmt.Errorf("line %d: empty line inside exposition", ln)
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := p.parseComment(line, ln, sawSample); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSampleLine(line, ln)
+		if err != nil {
+			return nil, err
+		}
+		fam, err := p.familyFor(s.Name, ln)
+		if err != nil {
+			return nil, err
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", ln, key)
+		}
+		seen[key] = true
+		sawSample[fam] = true
+		p.Samples = append(p.Samples, s)
+	}
+	if err := p.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *PromText) parseComment(line string, ln int, sawSample map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		// Arbitrary comments are legal as long as they are not mangled
+		// HELP/TYPE lines.
+		if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+			return fmt.Errorf("line %d: malformed HELP/TYPE line", ln)
+		}
+		return nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("line %d: malformed HELP line", ln)
+		}
+		name := fields[2]
+		if _, dup := p.Help[name]; dup {
+			return fmt.Errorf("line %d: duplicate HELP for %s", ln, name)
+		}
+		text := ""
+		if len(fields) == 4 {
+			text = fields[3]
+		}
+		stripped := strings.ReplaceAll(text, `\\`, "")
+		stripped = strings.ReplaceAll(stripped, `\n`, "")
+		if strings.Contains(stripped, `\`) {
+			return fmt.Errorf("line %d: invalid escape in HELP text", ln)
+		}
+		p.Help[name] = text
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("line %d: malformed TYPE line", ln)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", ln, typ)
+		}
+		if _, dup := p.Types[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+		}
+		if sawSample[name] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+		}
+		p.Types[name] = typ
+	}
+	return nil
+}
+
+// familyFor maps a sample name to its declared family, resolving the
+// histogram/summary child suffixes (_bucket, _sum, _count).
+func (p *PromText) familyFor(name string, ln int) (string, error) {
+	if typ, ok := p.Types[name]; ok {
+		if typ == "histogram" || typ == "summary" {
+			return "", fmt.Errorf("line %d: %s is declared %s; expected %s_bucket/_sum/_count samples", ln, name, typ, name)
+		}
+		return name, nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		typ, declared := p.Types[base]
+		if !declared {
+			continue
+		}
+		if typ == "histogram" || (typ == "summary" && suffix != "_bucket") {
+			return base, nil
+		}
+	}
+	return "", fmt.Errorf("line %d: sample %s has no TYPE declaration", ln, name)
+}
+
+func parseSampleLine(line string, ln int) (Sample, error) {
+	if strings.TrimSpace(line) != line {
+		return Sample{}, fmt.Errorf("line %d: leading or trailing whitespace", ln)
+	}
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return Sample{}, fmt.Errorf("line %d: cannot split metric name", ln)
+	}
+	s.Name = rest[:nameEnd]
+	if !metricNameRe.MatchString(s.Name) {
+		return Sample{}, fmt.Errorf("line %d: invalid metric name %q", ln, s.Name)
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels, ln)
+		if err != nil {
+			return Sample{}, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return Sample{}, fmt.Errorf("line %d: want value [timestamp], got %q", ln, strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("line %d: bad value %q", ln, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("line %d: bad timestamp %q", ln, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block starting at rest[0] ==
+// '{' and returns the index one past the closing brace.
+func parseLabels(rest string, out map[string]string, ln int) (int, error) {
+	i := 1
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("line %d: unterminated label block", ln)
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.Index(rest[i:], "=")
+		if j < 0 {
+			return 0, fmt.Errorf("line %d: label without '='", ln)
+		}
+		name := rest[i : i+j]
+		if !labelNameRe.MatchString(name) {
+			return 0, fmt.Errorf("line %d: invalid label name %q", ln, name)
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("line %d: duplicate label %q", ln, name)
+		}
+		i += j + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("line %d: label value for %q not quoted", ln, name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("line %d: unterminated label value for %q", ln, name)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("line %d: dangling escape in label value", ln)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("line %d: invalid escape \\%c in label value", ln, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		} else if i >= len(rest) || rest[i] != '}' {
+			return 0, fmt.Errorf("line %d: expected ',' or '}' after label %q", ln, name)
+		}
+	}
+}
+
+func seriesKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteByte('\x00')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	return b.String()
+}
+
+// validateHistograms checks every histogram family: per label set,
+// buckets must have parseable ascending le bounds, cumulative counts,
+// a closing +Inf bucket equal to _count, and a _sum sample.
+func (p *PromText) validateHistograms() error {
+	type histSeries struct {
+		bounds []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := make(map[string]*histSeries)
+	groupKey := func(base string, labels map[string]string) string {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				cp[k] = v
+			}
+		}
+		return seriesKey(Sample{Name: base, Labels: cp})
+	}
+	get := func(key string) *histSeries {
+		g := groups[key]
+		if g == nil {
+			g = &histSeries{}
+			groups[key] = g
+		}
+		return g
+	}
+	keyName := make(map[string]string)
+	for i := range p.Samples {
+		s := p.Samples[i]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(s.Name, suffix)
+			if !ok || p.Types[base] != "histogram" {
+				continue
+			}
+			key := groupKey(base, s.Labels)
+			keyName[key] = base
+			g := get(key)
+			switch suffix {
+			case "_bucket":
+				leStr, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("histogram %s: bucket sample without le label", base)
+				}
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s: unparseable le %q", base, leStr)
+				}
+				g.bounds = append(g.bounds, le)
+				g.counts = append(g.counts, s.Value)
+			case "_sum":
+				v := s.Value
+				g.sum = &v
+			case "_count":
+				v := s.Value
+				g.count = &v
+			}
+			break
+		}
+	}
+	for key, g := range groups {
+		name := keyName[key]
+		if len(g.bounds) == 0 {
+			return fmt.Errorf("histogram %s: series with no buckets", name)
+		}
+		for i := 1; i < len(g.bounds); i++ {
+			if !(g.bounds[i] > g.bounds[i-1]) {
+				return fmt.Errorf("histogram %s: le bounds not ascending", name)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", name)
+			}
+		}
+		if !math.IsInf(g.bounds[len(g.bounds)-1], 1) {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", name)
+		}
+		if g.count == nil || g.sum == nil {
+			return fmt.Errorf("histogram %s: missing _sum or _count", name)
+		}
+		if *g.count != g.counts[len(g.counts)-1] {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", name, *g.count, g.counts[len(g.counts)-1])
+		}
+	}
+	return nil
+}

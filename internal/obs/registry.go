@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal Prometheus-style metrics registry: labeled
+// counters, gauges, callback gauges and multi-bucket histograms, rendered
+// in the Prometheus text exposition format (version 0.0.4) by WriteText.
+//
+// Handles returned by With are cached and safe for concurrent use; all
+// updates are lock-free atomics so instrumented hot paths never contend
+// on the registry lock (taken only on first-series creation and render).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	ordered  []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64      // histogram upper bounds, ascending, no +Inf
+	fn      func() float64 // gaugeFunc only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []*series
+}
+
+type series struct {
+	values []string // label values, aligned with family.labels
+
+	count atomic.Int64  // counter value
+	bits  atomic.Uint64 // gauge value (float64 bits)
+	hist  *histData
+}
+
+type histData struct {
+	bucketCounts []atomic.Int64 // len(buckets)+1; last is +Inf overflow
+	count        atomic.Int64
+	sumBits      atomic.Uint64 // float64 bits, CAS-updated
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64, fn func() float64) *family {
+	if !metricNameRe.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) || l == "le" {
+			panic("obs: invalid label name " + l + " on " + name)
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic("obs: histogram buckets must be strictly ascending on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric registration " + name)
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  labels,
+		buckets: buckets,
+		fn:      fn,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{values: append([]string(nil), values...)}
+	if f.kind == kindHistogram {
+		s.hist = &histData{bucketCounts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.count.Add(1) }
+
+// Add adds n (must be non-negative to keep Prometheus semantics).
+func (c *Counter) Add(n int64) { c.s.count.Add(n) }
+
+// Value reads the current count. /v1/stats reads the same atomics that
+// /metrics renders, so the two can never drift.
+func (c *Counter) Value() int64 { return c.s.count.Load() }
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{v.f.with(values)} }
+
+// Gauge is a settable float metric.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{v.f.with(values)} }
+
+// Histogram is a cumulative-bucket histogram of float64 observations
+// (by convention, seconds).
+type Histogram struct {
+	bounds []float64
+	d      *histData
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.d.bucketCounts[idx].Add(1)
+	h.d.count.Add(1)
+	for {
+		old := h.d.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.d.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.d.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.d.sumBits.Load()) }
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{bounds: v.f.buckets, d: v.f.with(values).hist}
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return &Counter{f.with(nil)}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return &Gauge{f.with(nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at render time.
+// Useful for values that already live behind their own synchronization
+// (snapshot epoch, store sizes) — rendering calls fn, so it must not
+// call back into the registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// Histogram registers an unlabeled histogram with the given ascending
+// upper bounds (a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets, nil)
+	return &Histogram{bounds: buckets, d: f.with(nil).hist}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// DefaultLatencyBuckets spans 250µs to ~8.5s in powers of ~2, a spread
+// that resolves both the sub-millisecond warm-cache solves on the small
+// corpus and multi-second exact enumerations.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8}
+}
+
+// WriteText renders every family in registration order in the Prometheus
+// text exposition format. Series render in first-use order, which is
+// stable for a given process history; the format does not require any
+// particular series order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.ordered...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, typeString(f.kind))
+		switch f.kind {
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(f.fn()))
+		default:
+			f.mu.RLock()
+			order := append([]*series(nil), f.order...)
+			f.mu.RUnlock()
+			for _, s := range order {
+				switch f.kind {
+				case kindCounter:
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, s.values, "", 0), s.count.Load())
+				case kindGauge:
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, s.values, "", 0), formatValue(math.Float64frombits(s.bits.Load())))
+				case kindHistogram:
+					cum := int64(0)
+					for i, bound := range f.buckets {
+						cum += s.hist.bucketCounts[i].Load()
+						fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, "le", bound), cum)
+					}
+					cum += s.hist.bucketCounts[len(f.buckets)].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.values, "le", math.Inf(1)), cum)
+					fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.values, "", 0), formatValue(math.Float64frombits(s.hist.sumBits.Load())))
+					fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labels, s.values, "", 0), s.hist.count.Load())
+				}
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// labelString renders {a="x",b="y"} plus an optional le bound; empty
+// when there are no labels at all.
+func labelString(names, values []string, extraName string, extraBound float64) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(extraBound))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,140 +1,244 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync/atomic"
 	"time"
+
+	"tagdm/internal/core"
+	"tagdm/internal/obs"
 )
 
-// metrics holds the server's counters and the solve-latency histogram.
-// Everything is atomic so the hot paths never contend on a lock, and the
-// /metrics endpoint renders a consistent-enough point-in-time view.
+// Solver family labels. Every per-solver metric is keyed by one of these
+// so dashboards can compare the exact baseline against the approximate
+// families without regex-matching algorithm variant names.
+const (
+	famExact = "exact"
+	famSMLSH = "smlsh"
+	famDVFDP = "dvfdp"
+	famOther = "other"
+)
+
+// stageTotal is the synthetic stage label covering the whole solver call,
+// alongside the per-phase stages core.Result reports.
+const stageTotal = "total"
+
+// solverFamilies lists the families whose series are pre-registered, so
+// /metrics exposes zero-valued series from boot instead of materializing
+// them on first use.
+var solverFamilies = []string{famExact, famSMLSH, famDVFDP}
+
+// familyStages maps each family to the stage labels its solvers emit (see
+// the core.Stage* constants) plus the synthetic total.
+var familyStages = map[string][]string{
+	famExact: {core.StageMatrix, core.StageEnumerate, stageTotal},
+	famSMLSH: {core.StageMatrix, core.StageLSHBuild, core.StageBucketScan, stageTotal},
+	famDVFDP: {core.StageMatrix, core.StageGreedy, core.StageLocalSearch, stageTotal},
+}
+
+// familyOf buckets a core.Result algorithm name ("Exact", "SM-LSH-Fo",
+// "DV-FDP-Fi", ...) into its metric family label.
+func familyOf(algorithm string) string {
+	switch {
+	case algorithm == "Exact":
+		return famExact
+	case len(algorithm) >= 6 && algorithm[:6] == "SM-LSH":
+		return famSMLSH
+	case len(algorithm) >= 6 && algorithm[:6] == "DV-FDP":
+		return famDVFDP
+	default:
+		return famOther
+	}
+}
+
+// endpointLabel maps a request path to a bounded endpoint label so the
+// per-endpoint series can never grow with attacker-chosen paths.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/analyze":
+		return "analyze"
+	case "/v1/actions":
+		return "actions"
+	case "/v1/refresh":
+		return "refresh"
+	case "/v1/stats":
+		return "stats"
+	case "/metrics":
+		return "metrics"
+	case "/healthz":
+		return "healthz"
+	default:
+		return "other"
+	}
+}
+
+var endpointLabels = []string{"analyze", "actions", "refresh", "stats", "metrics", "healthz", "other"}
+
+// metrics is the server's obs.Registry plus handles to every series the
+// hot paths touch. /v1/stats reads the exact same atomics that /metrics
+// renders (via the Value/Count/Sum accessors), so the two views cannot
+// drift.
 type metrics struct {
 	started time.Time
+	reg     *obs.Registry
 
-	analyzeRequests atomic.Int64
-	ingestRequests  atomic.Int64
-	actionsIngested atomic.Int64
-	usersCreated    atomic.Int64
-	itemsCreated    atomic.Int64
+	requests       *obs.CounterVec   // {endpoint}
+	requestLatency *obs.HistogramVec // {endpoint}
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	actionsIngested *obs.Counter
+	usersCreated    *obs.Counter
+	itemsCreated    *obs.Counter
+	ingestLatency   *obs.Histogram
+	snapshots       *obs.Counter
 
-	solves        atomic.Int64
-	solveErrors   atomic.Int64
-	solveTimeouts atomic.Int64
-	rejected      atomic.Int64
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 
-	// Solver work accounting, split the way core.Result splits it:
-	// candidates actually evaluated versus candidates cut by the Exact
-	// branch-and-bound without evaluation (0 for the approximate families).
-	candidatesExamined atomic.Int64
-	candidatesPruned   atomic.Int64
+	solves             *obs.CounterVec // {family}
+	solveErrors        *obs.Counter
+	solveTimeouts      *obs.Counter
+	rejected           *obs.Counter
+	slowSolves         *obs.Counter
+	candidatesExamined *obs.CounterVec // {family}
+	candidatesPruned   *obs.CounterVec // {family}
+	matrixBuilds       *obs.CounterVec // {family}
+	matrixHits         *obs.CounterVec // {family}
 
-	snapshots atomic.Int64
-
-	latency histogram
+	solveLatency *obs.HistogramVec // {family}: end-to-end analyze execution
+	solveStage   *obs.HistogramVec // {family,stage}: per-phase solver wall time
 }
 
 func newMetrics() *metrics {
-	m := &metrics{started: time.Now()}
-	m.latency.bounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-	m.latency.counts = make([]atomic.Int64, len(m.latency.bounds)+1)
+	reg := obs.NewRegistry()
+	m := &metrics{
+		started: time.Now(),
+		reg:     reg,
+
+		requests: reg.CounterVec("tagdm_requests_total",
+			"HTTP requests received, by endpoint.", "endpoint"),
+		requestLatency: reg.HistogramVec("tagdm_request_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			obs.DefaultLatencyBuckets(), "endpoint"),
+
+		actionsIngested: reg.Counter("tagdm_actions_ingested_total",
+			"Tagging actions inserted."),
+		usersCreated: reg.Counter("tagdm_users_created_total",
+			"Users created through ingest."),
+		itemsCreated: reg.Counter("tagdm_items_created_total",
+			"Items created through ingest."),
+		ingestLatency: reg.Histogram("tagdm_ingest_batch_seconds",
+			"Ingest batch latency in seconds, including snapshot publication when triggered.",
+			obs.DefaultLatencyBuckets()),
+		snapshots: reg.Counter("tagdm_snapshots_published_total",
+			"Engine snapshots published."),
+
+		cacheHits: reg.Counter("tagdm_cache_hits_total",
+			"Analyze results served from cache."),
+		cacheMisses: reg.Counter("tagdm_cache_misses_total",
+			"Analyze cache misses."),
+
+		solves: reg.CounterVec("tagdm_solves_total",
+			"Solver executions, by solver family.", "family"),
+		solveErrors: reg.Counter("tagdm_solve_errors_total",
+			"Solver executions that errored."),
+		solveTimeouts: reg.Counter("tagdm_solve_timeouts_total",
+			"Analyze requests that timed out."),
+		rejected: reg.Counter("tagdm_rejected_total",
+			"Analyze requests rejected with a full queue."),
+		slowSolves: reg.Counter("tagdm_slow_solves_total",
+			"Analyze solves that exceeded the slow-solve threshold."),
+		candidatesExamined: reg.CounterVec("tagdm_candidates_examined_total",
+			"Candidate sets evaluated by solvers, by family.", "family"),
+		candidatesPruned: reg.CounterVec("tagdm_candidates_pruned_total",
+			"Candidate sets cut by branch-and-bound without evaluation, by family.", "family"),
+		matrixBuilds: reg.CounterVec("tagdm_matrix_builds_total",
+			"Pair matrices built because no cached matrix existed, by family.", "family"),
+		matrixHits: reg.CounterVec("tagdm_matrix_cache_hits_total",
+			"Pair-matrix bindings served from the snapshot engine cache, by family.", "family"),
+
+		solveLatency: reg.HistogramVec("tagdm_solve_latency_seconds",
+			"End-to-end analyze execution latency in seconds, by solver family.",
+			obs.DefaultLatencyBuckets(), "family"),
+		solveStage: reg.HistogramVec("tagdm_solve_stage_seconds",
+			"Per-stage solver wall time in seconds, by family and stage.",
+			obs.DefaultLatencyBuckets(), "family", "stage"),
+	}
+	// Materialize the label space up front: a scrape right after boot sees
+	// every series at zero rather than a sparse, shape-shifting exposition.
+	for _, ep := range endpointLabels {
+		m.requests.With(ep)
+		m.requestLatency.With(ep)
+	}
+	for _, fam := range solverFamilies {
+		m.solves.With(fam)
+		m.candidatesExamined.With(fam)
+		m.candidatesPruned.With(fam)
+		m.matrixBuilds.With(fam)
+		m.matrixHits.With(fam)
+		m.solveLatency.With(fam)
+		for _, stage := range familyStages[fam] {
+			m.solveStage.With(fam, stage)
+		}
+	}
 	return m
 }
 
-// histogram is a fixed-bucket latency histogram in seconds, rendered in
-// Prometheus cumulative-bucket form.
-type histogram struct {
-	bounds []float64      // upper bounds, ascending; +Inf is implicit
-	counts []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
-	sumNs  atomic.Int64
-	count  atomic.Int64
+// registerGauges wires the point-in-time gauges that read server state at
+// render time (snapshot epoch, store sizes, queue depth). Called once from
+// New, after the initial snapshot is published.
+func (m *metrics) registerGauges(s *Server) {
+	m.reg.GaugeFunc("tagdm_snapshot_epoch",
+		"Epoch of the currently published engine snapshot.",
+		func() float64 { return float64(s.snap.Load().Version) })
+	m.reg.GaugeFunc("tagdm_store_actions",
+		"Tagging actions in the published snapshot.",
+		func() float64 { return float64(s.snap.Load().Store.Len()) })
+	m.reg.GaugeFunc("tagdm_groups",
+		"Describable groups in the published snapshot.",
+		func() float64 { return float64(len(s.snap.Load().Groups)) })
+	m.reg.GaugeFunc("tagdm_vocab_size",
+		"Tag vocabulary size of the published snapshot.",
+		func() float64 { return float64(s.snap.Load().Store.Vocab.Size()) })
+	m.reg.GaugeFunc("tagdm_postings_lists",
+		"Posting lists in the published snapshot.",
+		func() float64 { lists, _ := s.snap.Load().Store.CompressionStats(); return float64(lists) })
+	m.reg.GaugeFunc("tagdm_postings_compressed",
+		"Posting lists using the container-compressed layout.",
+		func() float64 { _, comp := s.snap.Load().Store.CompressionStats(); return float64(comp) })
+	m.reg.GaugeFunc("tagdm_cache_size",
+		"Entries in the analyze result cache.",
+		func() float64 { size, _ := s.cache.stats(); return float64(size) })
+	m.reg.GaugeFunc("tagdm_queue_depth",
+		"Queued (not yet running) analyze jobs.",
+		func() float64 { return float64(s.pool.depth()) })
+	m.reg.GaugeFunc("tagdm_pool_workers",
+		"Solver worker goroutines.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.reg.GaugeFunc("tagdm_uptime_seconds",
+		"Seconds since server construction.",
+		func() float64 { return time.Since(m.started).Seconds() })
 }
 
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := 0
-	for i < len(h.bounds) && sec > h.bounds[i] {
-		i++
+// recordSolve folds one core.Result into the per-family counters and the
+// per-stage histograms. solverWall is the eng.Solve call alone; total is
+// the whole runAnalyze execution (scoping and encoding included).
+func (m *metrics) recordSolve(res core.Result, solverWall, total time.Duration) {
+	fam := familyOf(res.Algorithm)
+	m.solves.With(fam).Inc()
+	m.candidatesExamined.With(fam).Add(res.CandidatesExamined)
+	m.candidatesPruned.With(fam).Add(res.CandidatesPruned)
+	m.matrixBuilds.With(fam).Add(int64(res.MatrixBuilds))
+	m.matrixHits.With(fam).Add(int64(res.MatrixHits))
+	m.solveLatency.With(fam).Observe(total.Seconds())
+	for _, st := range res.Stages {
+		m.solveStage.With(fam, st.Name).Observe(st.Wall.Seconds())
 	}
-	h.counts[i].Add(1)
-	h.sumNs.Add(int64(d))
-	h.count.Add(1)
-}
-
-// meanMillis returns the mean observed latency in milliseconds (0 when no
-// observations have been made).
-func (h *histogram) meanMillis() float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return float64(h.sumNs.Load()) / float64(n) / 1e6
+	m.solveStage.With(fam, stageTotal).Observe(solverWall.Seconds())
 }
 
 // hitRate returns cache hits / (hits + misses), or 0 before any lookup.
 func (m *metrics) hitRate() float64 {
-	h, s := m.cacheHits.Load(), m.cacheMisses.Load()
+	h, s := m.cacheHits.Value(), m.cacheMisses.Value()
 	if h+s == 0 {
 		return 0
 	}
 	return float64(h) / float64(h+s)
-}
-
-// render writes the Prometheus text exposition of every counter plus the
-// gauges passed in by the server (values that live outside metrics, such as
-// the current epoch and queue depth).
-func (m *metrics) render(gauges map[string]float64) string {
-	var b strings.Builder
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("tagdm_analyze_requests_total", "Analyze requests received.", m.analyzeRequests.Load())
-	counter("tagdm_ingest_requests_total", "Ingest requests received.", m.ingestRequests.Load())
-	counter("tagdm_actions_ingested_total", "Tagging actions inserted.", m.actionsIngested.Load())
-	counter("tagdm_users_created_total", "Users created through ingest.", m.usersCreated.Load())
-	counter("tagdm_items_created_total", "Items created through ingest.", m.itemsCreated.Load())
-	counter("tagdm_cache_hits_total", "Analyze results served from cache.", m.cacheHits.Load())
-	counter("tagdm_cache_misses_total", "Analyze cache misses.", m.cacheMisses.Load())
-	counter("tagdm_solves_total", "Solver executions.", m.solves.Load())
-	counter("tagdm_candidates_examined_total", "Candidate sets evaluated by solvers.", m.candidatesExamined.Load())
-	counter("tagdm_candidates_pruned_total", "Candidate sets cut by branch-and-bound without evaluation.", m.candidatesPruned.Load())
-	counter("tagdm_solve_errors_total", "Solver executions that errored.", m.solveErrors.Load())
-	counter("tagdm_solve_timeouts_total", "Analyze requests that timed out.", m.solveTimeouts.Load())
-	counter("tagdm_rejected_total", "Analyze requests rejected with a full queue.", m.rejected.Load())
-	counter("tagdm_snapshots_published_total", "Engine snapshots published.", m.snapshots.Load())
-	for _, g := range sortedGauges(gauges) {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.value)
-	}
-
-	name := "tagdm_solve_latency_seconds"
-	fmt.Fprintf(&b, "# HELP %s Solver latency.\n# TYPE %s histogram\n", name, name)
-	cum := int64(0)
-	for i, bound := range m.latency.bounds {
-		cum += m.latency.counts[i].Load()
-		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", bound), cum)
-	}
-	cum += m.latency.counts[len(m.latency.bounds)].Load()
-	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(&b, "%s_sum %g\n", name, float64(m.latency.sumNs.Load())/1e9)
-	fmt.Fprintf(&b, "%s_count %d\n", name, m.latency.count.Load())
-	return b.String()
-}
-
-type gauge struct {
-	name  string
-	value float64
-}
-
-func sortedGauges(gauges map[string]float64) []gauge {
-	out := make([]gauge, 0, len(gauges))
-	for name, v := range gauges {
-		out = append(out, gauge{name, v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
 }

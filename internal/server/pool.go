@@ -32,7 +32,7 @@ type pool struct {
 
 type poolJob struct {
 	ctx  context.Context
-	fn   func() (*analyzeResponse, error)
+	fn   func(context.Context) (*analyzeResponse, error)
 	done chan poolResult
 }
 
@@ -59,16 +59,17 @@ func (p *pool) worker() {
 			job.done <- poolResult{err: job.ctx.Err()}
 			continue
 		}
-		val, err := job.fn()
+		val, err := job.fn(job.ctx)
 		job.done <- poolResult{val: val, err: err}
 	}
 }
 
 // do runs fn on a worker and waits for the result or the context. A full
 // queue fails fast with errBusy. When the context expires first, do returns
-// its error immediately; the worker still finishes fn (solves are not
-// preemptible) but the result is dropped.
-func (p *pool) do(ctx context.Context, fn func() (*analyzeResponse, error)) (*analyzeResponse, error) {
+// its error immediately; the worker's fn receives the same context, so a
+// cancellation-aware solve stops shortly after instead of running to
+// completion with the result dropped.
+func (p *pool) do(ctx context.Context, fn func(context.Context) (*analyzeResponse, error)) (*analyzeResponse, error) {
 	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
 	p.mu.RLock()
 	if p.closed {

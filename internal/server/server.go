@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -46,6 +47,7 @@ import (
 	"tagdm/internal/incremental"
 	"tagdm/internal/mining"
 	"tagdm/internal/model"
+	"tagdm/internal/obs"
 	"tagdm/internal/query"
 	"tagdm/internal/signature"
 )
@@ -86,6 +88,14 @@ type Config struct {
 	// write-heavy streams. Matrices cost n*(n-1)/2 float64 per binding
 	// over n groups.
 	PrewarmMatrices bool
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request (request id, method, path, status, duration) plus slow-solve
+	// reports. Use obs.NewJSONLogger for the standard JSON shape.
+	AccessLog *slog.Logger
+	// SlowSolve is the analyze latency above which a solve is logged to
+	// AccessLog with its full resolved problem spec and span tree. Zero
+	// disables slow-solve reporting.
+	SlowSolve time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.prewarm()
+	s.metrics.registerGauges(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/actions", s.handleActions)
@@ -172,8 +183,62 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes through here:
+// it assigns (or adopts) a request id, counts and times the request per
+// endpoint, and emits one structured access-log line when Config.AccessLog
+// is set.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
+	w.Header().Set("X-Request-ID", reqID)
+
+	ep := endpointLabel(r.URL.Path)
+	s.metrics.requests.With(ep).Inc()
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	s.metrics.requestLatency.With(ep).Observe(elapsed.Seconds())
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.statusCode()),
+			slog.Float64("duration_ms", float64(elapsed)/1e6),
+		)
+	}
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) statusCode() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
 
 // Close stops the worker pool after draining queued solves.
 func (s *Server) Close() { s.pool.close() }
@@ -190,7 +255,7 @@ func (s *Server) publishLocked() error {
 	}
 	s.snap.Store(snap)
 	s.unpublished = 0
-	s.metrics.snapshots.Add(1)
+	s.metrics.snapshots.Inc()
 	return nil
 }
 
@@ -219,6 +284,10 @@ type AnalyzeRequest struct {
 	// Query is an ANALYZE statement, e.g.
 	// "ANALYZE PROBLEM 3 WHERE genre=drama WITH k=3, support=1%".
 	Query string `json:"query"`
+	// Trace requests the span tree of this request in the response:
+	// parse, cache and solve phases, with the solver's per-stage spans
+	// (matrix, enumerate, lsh_build, ...) nested under solve.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // GroupResult is one returned group of an analyze response.
@@ -245,6 +314,18 @@ type AnalyzeResponse struct {
 	SolveMillis float64 `json:"solve_millis"`
 	// Cached reports whether this response came from the result cache.
 	Cached bool `json:"cached"`
+	// RequestID echoes the X-Request-ID of this request (set only when
+	// Trace was requested; the header carries it on every response).
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the request's span tree, present when AnalyzeRequest.Trace
+	// was set. The encode span is still open when the tree is snapshotted,
+	// so its wall time reads near zero here; the slow-solve log carries
+	// the completed tree.
+	Trace *obs.SpanTree `json:"trace,omitempty"`
+
+	// spec keeps the resolved problem spec for slow-solve reporting; it
+	// never crosses the wire.
+	spec *core.ProblemSpec
 }
 
 type analyzeResponse = AnalyzeResponse
@@ -320,6 +401,10 @@ type StatsResponse struct {
 		// (always 0 for the approximate families).
 		CandidatesExamined int64 `json:"candidates_examined"`
 		CandidatesPruned   int64 `json:"candidates_pruned"`
+		// Families breaks the same numbers down per solver family
+		// ("exact", "smlsh", "dvfdp"); the totals above are their sums,
+		// read from the identical registry atomics /metrics renders.
+		Families map[string]FamilySolveStats `json:"families"`
 	} `json:"solve"`
 
 	Ingest struct {
@@ -335,6 +420,16 @@ type StatsResponse struct {
 		Lists      int `json:"lists"`
 		Compressed int `json:"compressed"`
 	} `json:"postings"`
+}
+
+// FamilySolveStats is the per-solver-family slice of StatsResponse.Solve.
+type FamilySolveStats struct {
+	Count              int64   `json:"count"`
+	MeanMillis         float64 `json:"mean_millis"`
+	CandidatesExamined int64   `json:"candidates_examined"`
+	CandidatesPruned   int64   `json:"candidates_pruned"`
+	MatrixBuilds       int64   `json:"matrix_builds"`
+	MatrixHits         int64   `json:"matrix_cache_hits"`
 }
 
 type errorResponse struct {
@@ -358,7 +453,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	s.metrics.analyzeRequests.Add(1)
+	root := obs.NewTrace("analyze")
+	defer root.End()
+	root.SetAttr("request_id", obs.RequestIDFrom(r.Context()))
+
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -369,7 +467,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
+	parseSpan := root.StartChild("parse")
 	parsed, err := query.Parse(req.Query)
+	parseSpan.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -377,30 +477,36 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	snap := s.snap.Load()
 	key := cacheKey{query: canonicalQuery(req.Query), epoch: snap.Version}
-	if cached, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
+	cacheSpan := root.StartChild("cache")
+	cached, hit := s.cache.get(key)
+	cacheSpan.SetAttr("hit", hit)
+	cacheSpan.End()
+	if hit {
+		s.metrics.cacheHits.Inc()
 		resp := *cached
 		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
+		s.finishAnalyze(w, r, &resp, req, root)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
 	defer cancel()
-	resp, err := s.pool.do(ctx, func() (*analyzeResponse, error) {
-		return s.runAnalyze(snap, parsed, req.Query)
+	solveSpan := root.StartChild("solve")
+	resp, err := s.pool.do(ctx, func(ctx context.Context) (*analyzeResponse, error) {
+		return s.runAnalyze(obs.WithSpan(ctx, solveSpan), snap, parsed, req.Query)
 	})
+	solveSpan.End()
 	switch {
 	case errors.Is(err, errBusy):
-		s.metrics.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "solve queue full, retry later")
 		return
 	case errors.Is(err, errClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.solveTimeouts.Add(1)
+		s.metrics.solveTimeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout, "analysis timed out after %s", s.cfg.SolveTimeout)
 		return
 	case errors.Is(err, context.Canceled):
@@ -408,24 +514,63 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// timed out, so don't count it against the timeout metric.
 		return
 	case err != nil:
-		s.metrics.solveErrors.Add(1)
+		s.metrics.solveErrors.Inc()
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	s.cache.put(key, resp)
+	out := *resp
+	s.finishAnalyze(w, r, &out, req, root)
+}
+
+// finishAnalyze encodes the response (embedding the span tree when the
+// request asked for it) and emits the slow-solve report when the solve
+// exceeded Config.SlowSolve. resp must be a private copy: the cached
+// entry is shared across requests and must not grow request-scoped state.
+func (s *Server) finishAnalyze(w http.ResponseWriter, r *http.Request, resp *analyzeResponse, req AnalyzeRequest, root *obs.Span) {
+	encodeSpan := root.StartChild("encode")
+	if req.Trace {
+		resp.RequestID = obs.RequestIDFrom(r.Context())
+		resp.Trace = root.Tree()
+	}
 	writeJSON(w, http.StatusOK, *resp)
+	encodeSpan.End()
+	root.End()
+
+	if resp.Cached || s.cfg.SlowSolve <= 0 {
+		return
+	}
+	if time.Duration(resp.SolveMillis*float64(time.Millisecond)) < s.cfg.SlowSolve {
+		return
+	}
+	s.metrics.slowSolves.Inc()
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelWarn, "slow solve",
+		slog.String("request_id", obs.RequestIDFrom(r.Context())),
+		slog.String("query", resp.Query),
+		slog.String("algorithm", resp.Algorithm),
+		slog.Float64("solve_millis", resp.SolveMillis),
+		slog.Int64("epoch", resp.Epoch),
+		slog.Any("spec", resp.spec),
+		slog.Any("trace", root.Tree()),
+	)
 }
 
 // runAnalyze executes a parsed query against a frozen snapshot. It runs on
 // a pool worker; everything it touches is either immutable (the snapshot)
 // or freshly built here, so concurrent executions never share mutable
-// state.
-func (s *Server) runAnalyze(snap *incremental.Snapshot, req *query.Request, raw string) (*analyzeResponse, error) {
+// state. The context carries the request's solve span (solver stages
+// attach under it) and the cancellation budget.
+func (s *Server) runAnalyze(ctx context.Context, snap *incremental.Snapshot, req *query.Request, raw string) (*analyzeResponse, error) {
 	start := time.Now()
 	eng := snap.Engine
 	n := snap.Store.Len()
 	if len(req.Where) > 0 {
+		scopeSpan := obs.StartSpan(ctx, "scope")
 		scoped, scopedN, err := s.scopedEngine(snap, req.Where)
+		scopeSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -435,7 +580,7 @@ func (s *Server) runAnalyze(snap *incremental.Snapshot, req *query.Request, raw 
 	if err != nil {
 		return nil, err
 	}
-	resp := &analyzeResponse{Query: strings.TrimSpace(raw), Epoch: snap.Version}
+	resp := &analyzeResponse{Query: strings.TrimSpace(raw), Epoch: snap.Version, spec: &spec}
 	if len(eng.Groups) == 0 {
 		// An empty universe has no feasible set; short-circuit rather than
 		// exercising solver edge cases.
@@ -443,17 +588,15 @@ func (s *Server) runAnalyze(snap *incremental.Snapshot, req *query.Request, raw 
 		resp.SolveMillis = float64(time.Since(start)) / 1e6
 		return resp, nil
 	}
-	res, err := eng.Solve(spec, core.SolveOptions{
+	solveStart := time.Now()
+	res, err := eng.Solve(ctx, spec, core.SolveOptions{
 		LSH: core.LSHOptions{Seed: s.cfg.Seed, Mode: core.Fold},
 		FDP: core.FDPOptions{Mode: core.Fold},
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.solves.Add(1)
-	s.metrics.candidatesExamined.Add(res.CandidatesExamined)
-	s.metrics.candidatesPruned.Add(res.CandidatesPruned)
-	s.metrics.latency.observe(time.Since(start))
+	s.metrics.recordSolve(res, time.Since(solveStart), time.Since(start))
 	resp.Found = res.Found
 	resp.Algorithm = res.Algorithm
 	resp.Objective = res.Objective
@@ -509,7 +652,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	s.metrics.ingestRequests.Add(1)
+	start := time.Now()
 	var req IngestRequest
 	body := http.MaxBytesReader(w, r.Body, 32<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -550,14 +693,14 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		// with what was actually applied.
 		s.unpublished++
 		resp.Inserted++
-		s.metrics.actionsIngested.Add(1)
+		s.metrics.actionsIngested.Inc()
 		if a.UserAttrs != nil {
 			resp.UsersCreated++
-			s.metrics.usersCreated.Add(1)
+			s.metrics.usersCreated.Inc()
 		}
 		if a.ItemAttrs != nil {
 			resp.ItemsCreated++
-			s.metrics.itemsCreated.Add(1)
+			s.metrics.itemsCreated.Inc()
 		}
 	}
 	publish := s.unpublished >= s.cfg.RefreshEvery
@@ -579,6 +722,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp.Epoch = s.snap.Load().Version
+	s.metrics.ingestLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -646,23 +790,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	size, evictions := s.cache.stats()
 	resp.Cache.Size = size
 	resp.Cache.Capacity = s.cfg.CacheSize
-	resp.Cache.Hits = s.metrics.cacheHits.Load()
-	resp.Cache.Misses = s.metrics.cacheMisses.Load()
+	resp.Cache.Hits = s.metrics.cacheHits.Value()
+	resp.Cache.Misses = s.metrics.cacheMisses.Value()
 	resp.Cache.Evictions = evictions
 	resp.Cache.HitRate = s.metrics.hitRate()
 	resp.Pool.Workers = s.cfg.Workers
 	resp.Pool.QueueDepth = s.pool.depth()
 	resp.Pool.Capacity = s.cfg.QueueDepth
-	resp.Solve.Count = s.metrics.solves.Load()
-	resp.Solve.Errors = s.metrics.solveErrors.Load()
-	resp.Solve.Timeouts = s.metrics.solveTimeouts.Load()
-	resp.Solve.Rejected = s.metrics.rejected.Load()
-	resp.Solve.MeanMillis = s.metrics.latency.meanMillis()
-	resp.Solve.CandidatesExamined = s.metrics.candidatesExamined.Load()
-	resp.Solve.CandidatesPruned = s.metrics.candidatesPruned.Load()
-	resp.Ingest.Requests = s.metrics.ingestRequests.Load()
-	resp.Ingest.Actions = s.metrics.actionsIngested.Load()
-	resp.Ingest.Snapshots = s.metrics.snapshots.Load()
+	// The per-family numbers come from the same registry series /metrics
+	// renders; the totals are their sums, so the two endpoints agree by
+	// construction.
+	resp.Solve.Families = make(map[string]FamilySolveStats, len(solverFamilies))
+	var sumNanos float64
+	for _, fam := range solverFamilies {
+		lat := s.metrics.solveLatency.With(fam)
+		fs := FamilySolveStats{
+			Count:              s.metrics.solves.With(fam).Value(),
+			MeanMillis:         lat.Mean() * 1e3,
+			CandidatesExamined: s.metrics.candidatesExamined.With(fam).Value(),
+			CandidatesPruned:   s.metrics.candidatesPruned.With(fam).Value(),
+			MatrixBuilds:       s.metrics.matrixBuilds.With(fam).Value(),
+			MatrixHits:         s.metrics.matrixHits.With(fam).Value(),
+		}
+		resp.Solve.Families[fam] = fs
+		resp.Solve.Count += fs.Count
+		resp.Solve.CandidatesExamined += fs.CandidatesExamined
+		resp.Solve.CandidatesPruned += fs.CandidatesPruned
+		sumNanos += lat.Sum() * 1e9
+	}
+	if resp.Solve.Count > 0 {
+		resp.Solve.MeanMillis = sumNanos / float64(resp.Solve.Count) / 1e6
+	}
+	resp.Solve.Errors = s.metrics.solveErrors.Value()
+	resp.Solve.Timeouts = s.metrics.solveTimeouts.Value()
+	resp.Solve.Rejected = s.metrics.rejected.Value()
+	resp.Ingest.Requests = s.metrics.requests.With("actions").Value()
+	resp.Ingest.Actions = s.metrics.actionsIngested.Value()
+	resp.Ingest.Snapshots = s.metrics.snapshots.Value()
 	resp.Postings.Lists, resp.Postings.Compressed = snap.Store.CompressionStats()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -672,19 +836,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	snap := s.snap.Load()
-	size, _ := s.cache.stats()
-	gauges := map[string]float64{
-		"tagdm_snapshot_epoch": float64(snap.Version),
-		"tagdm_store_actions":  float64(snap.Store.Len()),
-		"tagdm_groups":         float64(len(snap.Groups)),
-		"tagdm_cache_size":     float64(size),
-		"tagdm_queue_depth":    float64(s.pool.depth()),
-		"tagdm_uptime_seconds": time.Since(s.metrics.started).Seconds(),
-		"tagdm_vocab_size":     float64(snap.Store.Vocab.Size()),
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(s.metrics.render(gauges)))
+	_ = s.metrics.reg.WriteText(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -151,6 +151,24 @@ func TestAnalyzeEndToEndWithCache(t *testing.T) {
 	if stats.Solve.CandidatesPruned != 0 {
 		t.Fatalf("candidates_pruned = %d for an approximate solve, want 0", stats.Solve.CandidatesPruned)
 	}
+	// Problem 3 has a similarity objective, so the solve lands in the
+	// SM-LSH family; the per-family breakdown must attribute all the work
+	// there and none to the others.
+	fam, ok := stats.Solve.Families["smlsh"]
+	if !ok {
+		t.Fatalf("stats missing smlsh family: %+v", stats.Solve.Families)
+	}
+	if fam.Count != 1 || fam.CandidatesExamined != stats.Solve.CandidatesExamined {
+		t.Fatalf("smlsh family stats = %+v", fam)
+	}
+	if fam.MatrixBuilds == 0 {
+		t.Fatalf("cold solve reports no matrix builds: %+v", fam)
+	}
+	for _, other := range []string{"exact", "dvfdp"} {
+		if f := stats.Solve.Families[other]; f.Count != 0 || f.CandidatesExamined != 0 {
+			t.Fatalf("family %s credited with work it did not do: %+v", other, f)
+		}
+	}
 }
 
 func TestAnalyzeScopedWhere(t *testing.T) {
@@ -385,26 +403,31 @@ func TestMetricsEndpoint(t *testing.T) {
 	defer ts.Close()
 
 	analyze(t, ts, testQuery)
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	text := buf.String()
-	for _, want := range []string{
-		"tagdm_analyze_requests_total 1",
-		"tagdm_cache_misses_total 1",
-		"tagdm_solves_total 1",
-		"tagdm_snapshot_epoch 0",
-		"tagdm_solve_latency_seconds_count 1",
-		"tagdm_groups 4",
+	pt := scrapeMetrics(t, ts)
+	for _, want := range []struct {
+		name  string
+		kv    []string
+		value float64
+	}{
+		{"tagdm_requests_total", []string{"endpoint", "analyze"}, 1},
+		{"tagdm_cache_misses_total", nil, 1},
+		{"tagdm_solves_total", []string{"family", "smlsh"}, 1},
+		{"tagdm_solves_total", []string{"family", "exact"}, 0},
+		{"tagdm_snapshot_epoch", nil, 0},
+		{"tagdm_solve_latency_seconds_count", []string{"family", "smlsh"}, 1},
+		{"tagdm_groups", nil, 4},
+		{"tagdm_solve_stage_seconds_count", []string{"family", "smlsh", "stage", "matrix"}, 1},
+		{"tagdm_solve_stage_seconds_count", []string{"family", "smlsh", "stage", "lsh_build"}, 1},
+		{"tagdm_solve_stage_seconds_count", []string{"family", "smlsh", "stage", "bucket_scan"}, 1},
+		{"tagdm_solve_stage_seconds_count", []string{"family", "smlsh", "stage", "total"}, 1},
+		{"tagdm_solve_stage_seconds_count", []string{"family", "exact", "stage", "enumerate"}, 0},
 	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		got, ok := pt.Sample(want.name, want.kv...)
+		if !ok {
+			t.Fatalf("metrics missing sample %s %v", want.name, want.kv)
+		}
+		if got != want.value {
+			t.Fatalf("%s%v = %g, want %g", want.name, want.kv, got, want.value)
 		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package tagdm
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it because instrumentation skews both sides unevenly.
+const raceEnabled = false

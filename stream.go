@@ -1,6 +1,7 @@
 package tagdm
 
 import (
+	"context"
 	"fmt"
 
 	"tagdm/internal/core"
@@ -83,7 +84,7 @@ func (m *Maintainer) Solve(spec ProblemSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return eng.Solve(spec, core.SolveOptions{
+	return eng.Solve(context.Background(), spec, core.SolveOptions{
 		LSH: core.LSHOptions{Seed: m.opts.Seed, Mode: core.Fold},
 		FDP: core.FDPOptions{Mode: core.Fold},
 	})

@@ -25,6 +25,7 @@
 package tagdm
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -257,7 +258,14 @@ func (a *Analysis) NumActions() int { return a.scopedN }
 // (SM-LSH for similarity objectives, DV-FDP otherwise), with Fold
 // constraint handling and default parameters.
 func (a *Analysis) Solve(spec ProblemSpec) (Result, error) {
-	return a.engine.Solve(spec, core.SolveOptions{
+	return a.SolveContext(context.Background(), spec)
+}
+
+// SolveContext is Solve with an explicit context: cancellation (or a
+// deadline) stops the solver at its next checkpoint, and an obs trace
+// span carried by the context collects per-stage child spans.
+func (a *Analysis) SolveContext(ctx context.Context, spec ProblemSpec) (Result, error) {
+	return a.engine.Solve(ctx, spec, core.SolveOptions{
 		LSH: core.LSHOptions{Seed: a.opts.Seed, Mode: core.Fold},
 		FDP: core.FDPOptions{Mode: core.Fold},
 	})
@@ -266,17 +274,24 @@ func (a *Analysis) Solve(spec ProblemSpec) (Result, error) {
 // Exact runs the brute-force baseline. It errors when the candidate space
 // exceeds the (optional) cap; restrict the analysis or lower KHi first.
 func (a *Analysis) Exact(spec ProblemSpec, opts ExactOptions) (Result, error) {
-	return a.engine.Exact(spec, opts)
+	return a.ExactContext(context.Background(), spec, opts)
+}
+
+// ExactContext is Exact with an explicit context; the enumeration polls
+// cancellation every few thousand candidates, so a deadline bounds the
+// exponential baseline's work.
+func (a *Analysis) ExactContext(ctx context.Context, spec ProblemSpec, opts ExactOptions) (Result, error) {
+	return a.engine.Exact(ctx, spec, opts)
 }
 
 // SMLSH runs the LSH-based similarity maximizer with explicit options.
 func (a *Analysis) SMLSH(spec ProblemSpec, opts LSHOptions) (Result, error) {
-	return a.engine.SMLSH(spec, opts)
+	return a.engine.SMLSH(context.Background(), spec, opts)
 }
 
 // DVFDP runs the dispersion-based optimizer with explicit options.
 func (a *Analysis) DVFDP(spec ProblemSpec, opts FDPOptions) (Result, error) {
-	return a.engine.DVFDP(spec, opts)
+	return a.engine.DVFDP(context.Background(), spec, opts)
 }
 
 // Describe renders a result's groups through the dataset dictionaries.
