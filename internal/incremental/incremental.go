@@ -68,6 +68,38 @@ type pending struct {
 // fully-described groups with at least minTuples tuples and summarizes
 // them with sum.
 func New(ds *model.Dataset, minTuples int, sum signature.Summarizer) (*Maintainer, error) {
+	return build(ds, minTuples, sum, nil, 0)
+}
+
+// Restore rebuilds a maintainer from checkpointed state: the dataset holds
+// the actions as of the checkpoint, activeKeys is the ActiveKeys() capture
+// taken at the same moment, and version is the maintainer version to resume
+// from.
+//
+// Group IDs matter: solvers break ties by the first maximum, so two
+// universes with the same groups in different ID order can return different
+// (equally valid) answers. A live maintainer assigns IDs in activation
+// order — initial enumeration order, then threshold-crossing order under
+// ingest — which a fresh enumeration of the same store does not reproduce.
+// Replaying activeKeys instead re-activates groups in exactly the recorded
+// order, so a recovered server answers queries byte-identically to the
+// process that wrote the checkpoint.
+//
+// Restore fails loudly rather than diverge silently: every key must name an
+// existing fully-described group at or above minTuples, no key may repeat,
+// and every qualifying group must be covered by some key.
+func Restore(ds *model.Dataset, minTuples int, sum signature.Summarizer, activeKeys []string, version int64) (*Maintainer, error) {
+	if activeKeys == nil {
+		activeKeys = []string{} // non-nil: empty active set is an assertion, not "use default order"
+	}
+	m, err := build(ds, minTuples, sum, activeKeys, version)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func build(ds *model.Dataset, minTuples int, sum signature.Summarizer, activeKeys []string, version int64) (*Maintainer, error) {
 	if minTuples < 1 {
 		return nil, fmt.Errorf("incremental: minTuples must be >= 1")
 	}
@@ -82,21 +114,56 @@ func New(ds *model.Dataset, minTuples int, sum signature.Summarizer) (*Maintaine
 		sum:       sum,
 		byKey:     make(map[string]*pending),
 		dirty:     make(map[int]bool),
+		version:   version,
 	}
 	// Seed byKey with every existing tuple, then activate qualifying
-	// groups in deterministic (enumeration) order.
+	// groups — in deterministic enumeration order for a fresh build, or in
+	// the recorded activation order for a restore.
 	enum := (&groups.Enumerator{Store: st, MinTuples: 1}).FullyDescribed()
 	for _, g := range enum {
 		p := &pending{group: g}
 		m.byKey[m.keyOfGroup(g)] = p
 	}
-	for _, g := range enum {
-		if g.Size() >= minTuples {
-			m.activate(m.byKey[m.keyOfGroup(g)])
+	if activeKeys == nil {
+		for _, g := range enum {
+			if g.Size() >= minTuples {
+				m.activate(m.byKey[m.keyOfGroup(g)])
+			}
+		}
+	} else {
+		for i, key := range activeKeys {
+			p, ok := m.byKey[key]
+			if !ok {
+				return nil, fmt.Errorf("incremental: restore: active key %d (%q) names no fully-described group", i, key)
+			}
+			if p.active {
+				return nil, fmt.Errorf("incremental: restore: active key %d (%q) repeats", i, key)
+			}
+			if p.group.Size() < minTuples {
+				return nil, fmt.Errorf("incremental: restore: active key %d (%q) has %d tuples, below threshold %d",
+					i, key, p.group.Size(), minTuples)
+			}
+			m.activate(p)
+		}
+		for _, g := range enum {
+			if g.Size() >= minTuples && !m.byKey[m.keyOfGroup(g)].active {
+				return nil, fmt.Errorf("incremental: restore: qualifying group %q missing from active keys", m.keyOfGroup(g))
+			}
 		}
 	}
 	m.resummarize()
 	return m, nil
+}
+
+// ActiveKeys returns the full attribute-assignment keys of the active
+// groups in ID order — the capture a checkpoint stores so Restore can
+// re-activate groups in the same order.
+func (m *Maintainer) ActiveKeys() []string {
+	keys := make([]string, len(m.active))
+	for i, g := range m.active {
+		keys[i] = m.keyOfGroup(g)
+	}
+	return keys
 }
 
 // keyOfGroup renders the full attribute assignment of a group.

@@ -347,3 +347,151 @@ func TestSnapshotIsolatedFromLaterInserts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// checkpointDataset reconstructs the dataset a checkpoint persists: the
+// live users/items/vocabulary plus the actions read back out of the store
+// in insert order (Maintainer.Insert grows the store, not Dataset.Actions).
+func checkpointDataset(d *model.Dataset, st *store.Store) *model.Dataset {
+	out := &model.Dataset{
+		UserSchema: d.UserSchema,
+		ItemSchema: d.ItemSchema,
+		Vocab:      d.Vocab,
+		Users:      d.Users,
+		Items:      d.Items,
+	}
+	for i := 0; i < st.Len(); i++ {
+		out.Actions = append(out.Actions, model.TaggingAction{
+			User:   st.TupleUser(i),
+			Item:   st.TupleItem(i),
+			Tags:   st.TupleTags(i),
+			Rating: st.TupleRating(i),
+		})
+	}
+	return out
+}
+
+// TestRestoreReproducesActivationOrder is the recovery-order invariant: a
+// group activated by ingest gets an ID reflecting when it crossed the
+// threshold, which a fresh enumeration (sorted by size) would not assign.
+// Restore with the recorded keys must reproduce the live order exactly.
+func TestRestoreReproducesActivationOrder(t *testing.T) {
+	d, male, f, action := world(t)
+	sum := newSummarizer(t, d)
+	m, err := New(d, 3, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activate female-action by ingest (1 more tuple -> 3), then bulk up
+	// male-action so size order disagrees with activation order.
+	gory := d.Vocab.ID("gory")
+	if err := m.Insert(model.TaggingAction{User: f, Item: action, Tags: []model.TagID{gory}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.Insert(model.TaggingAction{User: f, Item: action, Tags: []model.TagID{gory}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = male
+	keys := m.ActiveKeys()
+	if len(keys) != 2 {
+		t.Fatalf("ActiveKeys = %d entries, want 2", len(keys))
+	}
+	version := m.Version()
+
+	ckpt := checkpointDataset(d, m.Store())
+	r, err := Restore(ckpt, 3, sum, keys, version)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := r.ActiveKeys(); len(got) != len(keys) {
+		t.Fatalf("restored ActiveKeys = %d entries, want %d", len(got), len(keys))
+	} else {
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("restored key %d = %q, want %q", i, got[i], keys[i])
+			}
+		}
+	}
+	if r.Version() != version {
+		t.Fatalf("restored version = %d, want %d", r.Version(), version)
+	}
+	// A fresh New over the same data must NOT match the live order here —
+	// that mismatch is the reason Restore exists. female-action (7 tuples)
+	// outranks male-action (3) by size, but activated second.
+	fresh, err := New(checkpointDataset(d, m.Store()), 3, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk := fresh.ActiveKeys(); fk[0] == keys[0] {
+		t.Fatalf("test is vacuous: fresh enumeration order %v matches activation order %v", fk, keys)
+	}
+	// Tuple membership must agree group-by-group.
+	for i, g := range r.ActiveGroups() {
+		want := m.ActiveGroups()[i]
+		if g.Size() != want.Size() {
+			t.Fatalf("group %d size = %d, want %d", i, g.Size(), want.Size())
+		}
+		if len(g.Members) != len(want.Members) {
+			t.Fatalf("group %d members = %d, want %d", i, len(g.Members), len(want.Members))
+		}
+		for j := range g.Members {
+			if g.Members[j] != want.Members[j] {
+				t.Fatalf("group %d member %d = %d, want %d", i, j, g.Members[j], want.Members[j])
+			}
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	d, _, _, _ := world(t)
+	sum := newSummarizer(t, d)
+	m, err := New(d, 3, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := m.ActiveKeys()
+	ckpt := checkpointDataset(d, m.Store())
+
+	if _, err := Restore(ckpt, 3, sum, append(keys, "9/9/9|"), m.Version()); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := Restore(ckpt, 3, sum, append(keys, keys[0]), m.Version()); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if _, err := Restore(ckpt, 3, sum, nil, m.Version()); err == nil {
+		t.Fatal("missing qualifying group accepted")
+	}
+}
+
+// TestRestoreContinuesIngest: a restored maintainer must keep accepting
+// inserts, activating groups and publishing snapshots like the original.
+func TestRestoreContinuesIngest(t *testing.T) {
+	d, _, f, action := world(t)
+	sum := newSummarizer(t, d)
+	m, err := New(d, 3, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(checkpointDataset(d, m.Store()), 3, sum, m.ActiveKeys(), m.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gory := d.Vocab.ID("gory")
+	if err := r.Insert(model.TaggingAction{User: f, Item: action, Tags: []model.TagID{gory}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().ActiveGroups; got != 2 {
+		t.Fatalf("active after post-restore insert = %d, want 2", got)
+	}
+	if r.Version() != m.Version()+1 {
+		t.Fatalf("version = %d, want %d", r.Version(), m.Version()+1)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != r.Version() {
+		t.Fatalf("snapshot version = %d", snap.Version)
+	}
+}

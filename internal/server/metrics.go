@@ -104,6 +104,19 @@ type metrics struct {
 
 	solveLatency *obs.HistogramVec // {family}: end-to-end analyze execution
 	solveStage   *obs.HistogramVec // {family,stage}: per-phase solver wall time
+
+	// Durability series. Counters stay zero when the server runs without a
+	// data dir; the gauges (registered in registerGauges) read the WAL's
+	// own counters at render time.
+	walAppends       *obs.Counter
+	walAppendBytes   *obs.Counter
+	walAppendErrors  *obs.Counter
+	walAppendWait    *obs.Histogram // ack latency: enqueue to durable
+	walFsyncSeconds  *obs.Histogram
+	checkpoints      *obs.Counter
+	checkpointErrors *obs.Counter
+	checkpointTime   *obs.Histogram
+	degradations     *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -160,6 +173,28 @@ func newMetrics() *metrics {
 		solveStage: reg.HistogramVec("tagdm_solve_stage_seconds",
 			"Per-stage solver wall time in seconds, by family and stage.",
 			obs.DefaultLatencyBuckets(), "family", "stage"),
+
+		walAppends: reg.Counter("tagdm_wal_appends_total",
+			"Ingest batches durably appended to the write-ahead log."),
+		walAppendBytes: reg.Counter("tagdm_wal_append_bytes_total",
+			"Payload bytes appended to the write-ahead log."),
+		walAppendErrors: reg.Counter("tagdm_wal_append_errors_total",
+			"Write-ahead log appends that failed (each flips the server read-only)."),
+		walAppendWait: reg.Histogram("tagdm_wal_append_wait_seconds",
+			"Group-commit ack latency: WAL enqueue to durable, in seconds.",
+			obs.DefaultLatencyBuckets()),
+		walFsyncSeconds: reg.Histogram("tagdm_wal_fsync_seconds",
+			"Write-ahead log fsync latency in seconds.",
+			obs.DefaultLatencyBuckets()),
+		checkpoints: reg.Counter("tagdm_checkpoints_total",
+			"Snapshot checkpoints written."),
+		checkpointErrors: reg.Counter("tagdm_checkpoint_errors_total",
+			"Snapshot checkpoints that failed."),
+		checkpointTime: reg.Histogram("tagdm_checkpoint_seconds",
+			"Checkpoint wall time in seconds (capture, WAL sync, write, prune).",
+			obs.DefaultLatencyBuckets()),
+		degradations: reg.Counter("tagdm_durability_degradations_total",
+			"Transitions into read-only degraded mode."),
 	}
 	// Materialize the label space up front: a scrape right after boot sees
 	// every series at zero rather than a sparse, shape-shifting exposition.
@@ -215,6 +250,40 @@ func (m *metrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("tagdm_uptime_seconds",
 		"Seconds since server construction.",
 		func() float64 { return time.Since(m.started).Seconds() })
+	m.reg.GaugeFunc("tagdm_durability_enabled",
+		"1 when the server runs with a write-ahead log and checkpoints.",
+		func() float64 {
+			if s.dur != nil {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("tagdm_durability_degraded",
+		"1 when the server is in read-only degraded mode after a disk failure.",
+		func() float64 {
+			if _, degraded := s.degradedReason(); degraded {
+				return 1
+			}
+			return 0
+		})
+	if s.dur == nil {
+		return
+	}
+	m.reg.GaugeFunc("tagdm_wal_last_seq",
+		"Sequence number of the last durable write-ahead log record.",
+		func() float64 { return float64(s.dur.log.Stats().LastSeq) })
+	m.reg.GaugeFunc("tagdm_wal_size_bytes",
+		"Bytes across live write-ahead log segments.",
+		func() float64 { return float64(s.dur.log.Stats().SizeBytes) })
+	m.reg.GaugeFunc("tagdm_wal_fsyncs",
+		"Fsyncs issued by the write-ahead log this process.",
+		func() float64 { return float64(s.dur.log.Stats().Syncs) })
+	m.reg.GaugeFunc("tagdm_checkpoint_last_seq",
+		"Write-ahead log sequence covered by the newest checkpoint.",
+		func() float64 { return float64(s.ckptLastSeq.Load()) })
+	m.reg.GaugeFunc("tagdm_checkpoint_last_epoch",
+		"Maintainer epoch captured by the newest checkpoint.",
+		func() float64 { return float64(s.ckptLastEpoch.Load()) })
 }
 
 // recordSolve folds one core.Result into the per-family counters and the

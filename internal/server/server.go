@@ -50,6 +50,7 @@ import (
 	"tagdm/internal/obs"
 	"tagdm/internal/query"
 	"tagdm/internal/signature"
+	"tagdm/internal/wal"
 )
 
 // Config tunes a Server. The zero value of every field gets a sensible
@@ -96,6 +97,35 @@ type Config struct {
 	// AccessLog with its full resolved problem spec and span tree. Zero
 	// disables slow-solve reporting.
 	SlowSolve time.Duration
+
+	// DataDir enables durable ingest: a write-ahead log and snapshot
+	// checkpoints under this directory. Empty keeps the server purely
+	// in-memory (the pre-durability behavior). When the directory already
+	// holds a checkpoint, boot recovers from it and Dataset may be nil;
+	// a first boot seeds from Dataset and checkpoints it immediately.
+	DataDir string
+	// FsyncMode selects when WAL appends are fsynced (default
+	// wal.SyncAlways: every acknowledged batch is crash-durable).
+	FsyncMode wal.SyncMode
+	// FlushInterval is the WAL group-commit window (default 2ms; negative
+	// flushes each enqueue immediately, for tests).
+	FlushInterval time.Duration
+	// FlushBytes flushes the group-commit batch early once this many
+	// payload bytes are pending (default 256 KiB).
+	FlushBytes int
+	// SyncEvery is the fsync period under wal.SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// CheckpointEvery writes a snapshot checkpoint after this many ingested
+	// actions (default 4096; negative disables automatic checkpoints —
+	// Checkpoint and Shutdown still write them).
+	CheckpointEvery int
+	// MaxAnalyzeBytes / MaxIngestBytes cap request bodies; oversized
+	// requests get 413 (defaults 1 MiB and 32 MiB).
+	MaxAnalyzeBytes int64
+	MaxIngestBytes  int64
+	// WALFS overrides the filesystem the durability layer writes through;
+	// nil uses the real one. The fault-injection tests pass a wal.FaultFS.
+	WALFS wal.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +149,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolveTimeout <= 0 {
 		c.SolveTimeout = 30 * time.Second
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 256 << 10
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 100 * time.Millisecond
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 4096
+	}
+	if c.MaxAnalyzeBytes <= 0 {
+		c.MaxAnalyzeBytes = 1 << 20
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = 32 << 20
 	}
 	return c
 }
@@ -145,30 +196,58 @@ type Server struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// Durability state; dur is nil for a purely in-memory server.
+	dur           *durability
+	sigSize       int // frequency-summarizer fold width, frozen at first boot
+	sinceCkpt     int // actions since the last checkpoint (guarded by mu)
+	recovery      RecoveryInfo
+	degradedP     atomic.Pointer[degraded]
+	ckptMu        sync.Mutex // serializes Checkpoint executions
+	ckptRunning   atomic.Bool
+	ckptLastSeq   atomic.Uint64
+	ckptLastEpoch atomic.Int64
 }
 
-// New builds a server over the dataset and publishes the initial snapshot
-// (epoch 0).
+// New builds a server over the dataset and publishes the initial snapshot.
+// With Config.DataDir set, construction is a durable boot: load the newest
+// valid checkpoint (or seed from Config.Dataset on first boot), replay the
+// WAL tail, and publish the recovered state — the published epoch then
+// continues from where the previous process stopped.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Dataset == nil {
-		return nil, fmt.Errorf("server: Config.Dataset is required (may be empty, not nil)")
-	}
-	sum := signature.FrequencyOfSize(cfg.Dataset.Vocab.Size())
-	maint, err := incremental.New(cfg.Dataset, cfg.MinGroupTuples, sum)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:     cfg,
-		ds:      cfg.Dataset,
-		maint:   maint,
 		cache:   newResultCache(cfg.CacheSize),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(),
 	}
+	if cfg.DataDir == "" {
+		if cfg.Dataset == nil {
+			return nil, fmt.Errorf("server: Config.Dataset is required (may be empty, not nil)")
+		}
+		sum := signature.FrequencyOfSize(cfg.Dataset.Vocab.Size())
+		maint, err := incremental.New(cfg.Dataset, cfg.MinGroupTuples, sum)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.ds, s.maint = cfg.Dataset, maint
+		s.sigSize = cfg.Dataset.Vocab.Size()
+	} else {
+		boot := obs.NewTrace("recover")
+		err := s.openDurable(boot)
+		boot.End()
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+	}
 	if err := s.publishLocked(); err != nil {
 		s.pool.close()
+		if s.dur != nil {
+			s.dur.log.Close()
+		}
 		return nil, err
 	}
 	s.prewarm()
@@ -240,11 +319,52 @@ func (w *statusWriter) statusCode() int {
 	return w.status
 }
 
-// Close stops the worker pool after draining queued solves.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the worker pool after draining queued solves and closes the
+// WAL (flushing pending appends) without writing a final checkpoint. Use
+// Shutdown for a clean exit that checkpoints first.
+func (s *Server) Close() {
+	s.pool.close()
+	if s.dur != nil {
+		_ = s.dur.log.Close()
+	}
+}
+
+// Shutdown is the graceful exit: drain the worker pool, write a final
+// checkpoint (unless degraded — a degraded server must not publish
+// checkpoints over possibly-unsynced state), then flush, fsync and close
+// the WAL. The context is reserved for future deadline support; the
+// checkpoint itself is not interruptible.
+func (s *Server) Shutdown(ctx context.Context) error {
+	_ = ctx
+	s.pool.close()
+	if s.dur == nil {
+		return nil
+	}
+	var err error
+	if _, isDegraded := s.degradedReason(); !isDegraded {
+		err = s.Checkpoint()
+	}
+	if cerr := s.dur.log.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Recovery reports what a durable boot found on disk.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Epoch returns the epoch of the currently published snapshot.
 func (s *Server) Epoch() int64 { return s.snap.Load().Version }
+
+// DatasetStats summarizes the corpus the server booted with (including
+// recovered state on a durable boot). Entity counts stay current as ingest
+// creates users and items; the action count reflects boot time — use
+// /v1/stats for the live figure.
+func (s *Server) DatasetStats() model.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Stats()
+}
 
 // publishLocked takes a fresh snapshot of the maintainer and swaps it in.
 // Callers hold s.mu (or are inside New, before the server is shared).
@@ -420,6 +540,26 @@ type StatsResponse struct {
 		Lists      int `json:"lists"`
 		Compressed int `json:"compressed"`
 	} `json:"postings"`
+
+	// Durability reports the write-ahead log and checkpoint state; all
+	// zero values when the server runs without a data dir.
+	Durability struct {
+		Enabled   bool   `json:"enabled"`
+		Degraded  bool   `json:"degraded"`
+		Reason    string `json:"reason,omitempty"`
+		FsyncMode string `json:"fsync_mode,omitempty"`
+
+		WALLastSeq   uint64 `json:"wal_last_seq"`
+		WALSizeBytes int64  `json:"wal_size_bytes"`
+		WALAppends   int64  `json:"wal_appends"`
+		WALFsyncs    int64  `json:"wal_fsyncs"`
+
+		Checkpoints         int64  `json:"checkpoints"`
+		CheckpointLastSeq   uint64 `json:"checkpoint_last_seq"`
+		CheckpointLastEpoch int64  `json:"checkpoint_last_epoch"`
+
+		Recovery RecoveryInfo `json:"recovery"`
+	} `json:"durability"`
 }
 
 // FamilySolveStats is the per-solver-family slice of StatsResponse.Solve.
@@ -458,8 +598,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	root.SetAttr("request_id", obs.RequestIDFrom(r.Context()))
 
 	var req AnalyzeRequest
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxAnalyzeBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -642,6 +787,22 @@ func (s *Server) scopedEngine(snap *incremental.Snapshot, where map[string]strin
 // handleActions is the streaming ingest path. Batches apply under the
 // writer lock while analyses keep reading the published snapshot.
 //
+// Batches are atomic: the whole batch is validated against the current
+// state (simulating in-batch entity creation) before any action applies,
+// so a bad action rejects the batch with 400 and zero side effects. This
+// is what makes the write-ahead log sound — a logged record is always a
+// fully-applied batch, so crash replay cannot diverge from the original
+// execution.
+//
+// With durability on, the acknowledgement order is: apply in memory and
+// enqueue the WAL record under the write lock (pinning WAL order to apply
+// order), wait for the group commit to make it durable, and only then
+// publish a snapshot — analyses never observe data that subsequently fails
+// the disk. A WAL failure flips the server into sticky read-only mode: the
+// client gets 503 (its batch was not durably acknowledged) and so does
+// every later ingest, while analyses keep serving the last published
+// snapshot.
+//
 // Note the vocabulary-growth caveat documented on tagdm.Maintainer.Insert:
 // frequency signatures fold brand-new tags into the signature space only up
 // to the vocabulary size at server construction, so pre-register the
@@ -653,9 +814,28 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	root := obs.NewTrace("ingest")
+	defer root.End()
+	root.SetAttr("request_id", obs.RequestIDFrom(r.Context()))
+
+	s.checkDurable()
+	if reason, ok := s.degradedReason(); ok {
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "read-only mode: %s", reason)
+		return
+	}
+
+	decodeSpan := root.StartChild("decode")
 	var req IngestRequest
-	body := http.MaxBytesReader(w, r.Body, 32<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	err := json.NewDecoder(body).Decode(&req)
+	decodeSpan.End()
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -664,34 +844,149 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	applySpan := root.StartChild("apply")
 	s.mu.Lock()
+	if err := s.validateBatchLocked(req.Actions); err != nil {
+		s.mu.Unlock()
+		applySpan.End()
+		writeError(w, http.StatusBadRequest, "%v (batch rejected, nothing applied)", err)
+		return
+	}
 	var resp IngestResponse
-	for i, a := range req.Actions {
+	if err := s.applyBatchLocked(req.Actions, &resp); err != nil {
+		// Validation guarantees apply cannot fail; if it does, the memory
+		// state may have diverged from what the WAL will record, so stop
+		// accepting writes.
+		s.degrade("batch apply after validation", err)
+		s.mu.Unlock()
+		applySpan.End()
+		writeError(w, http.StatusInternalServerError, "applying batch: %v", err)
+		return
+	}
+	s.unpublished += resp.Inserted
+	s.sinceCkpt += resp.Inserted
+	publish := s.unpublished >= s.cfg.RefreshEvery
+	if req.Refresh != nil {
+		publish = *req.Refresh
+	}
+	var ticket *wal.Ticket
+	var payloadLen int
+	if s.dur != nil {
+		// Marshal of decoded wire structs cannot fail; Enqueue under s.mu
+		// pins the WAL record order to the in-memory apply order.
+		payload, _ := json.Marshal(IngestRequest{Actions: req.Actions})
+		payloadLen = len(payload)
+		ticket = s.dur.log.Enqueue(payload)
+	}
+	s.mu.Unlock()
+	applySpan.End()
+
+	if ticket != nil {
+		walSpan := root.StartChild("wal_append")
+		waitStart := time.Now()
+		err := ticket.Wait()
+		walSpan.End()
+		s.metrics.walAppendWait.Observe(time.Since(waitStart).Seconds())
+		if err != nil {
+			s.metrics.walAppendErrors.Inc()
+			s.degrade("wal append", err)
+			w.Header().Set("Retry-After", "30")
+			writeError(w, http.StatusServiceUnavailable,
+				"write-ahead log failure, entering read-only mode: %v", err)
+			return
+		}
+		s.metrics.walAppends.Inc()
+		s.metrics.walAppendBytes.Add(int64(payloadLen))
+	}
+
+	if publish {
+		publishSpan := root.StartChild("publish")
+		s.mu.Lock()
+		err := s.publishLocked()
+		resp.Pending = s.unpublished
+		s.mu.Unlock()
+		publishSpan.End()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
+			return
+		}
+		resp.Published = true
+		s.prewarm()
+	} else {
+		s.mu.Lock()
+		resp.Pending = s.unpublished
+		s.mu.Unlock()
+	}
+
+	resp.Epoch = s.snap.Load().Version
+	s.metrics.ingestLatency.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+	s.maybeCheckpointAsync()
+}
+
+// validateBatchLocked checks a whole ingest batch against the current state
+// without mutating anything, simulating in-batch entity creation so later
+// actions may reference entities earlier actions create. After it passes,
+// applyBatchLocked cannot fail.
+func (s *Server) validateBatchLocked(actions []IngestAction) error {
+	nUsers, nItems := len(s.ds.Users), len(s.ds.Items)
+	for i, a := range actions {
+		if err := validateEntityRef(a.User, a.UserAttrs, s.ds.UserSchema, &nUsers, "user"); err != nil {
+			return fmt.Errorf("actions[%d]: %w", i, err)
+		}
+		if err := validateEntityRef(a.Item, a.ItemAttrs, s.ds.ItemSchema, &nItems, "item"); err != nil {
+			return fmt.Errorf("actions[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validateEntityRef checks one (id, attrs) pair: exactly one must be set,
+// attrs must only name schema attributes, and ids must be in range given
+// the entities the batch created so far (*n tracks the simulated count).
+func validateEntityRef(id *int32, attrs map[string]string, schema *model.Schema, n *int, kind string) error {
+	switch {
+	case id != nil && attrs != nil:
+		return fmt.Errorf("set %s or %s_attrs, not both", kind, kind)
+	case attrs != nil:
+		for name := range attrs {
+			if schema.AttrIndex(name) < 0 {
+				return fmt.Errorf("%s_attrs: schema has no attribute %q", kind, name)
+			}
+		}
+		*n++
+		return nil
+	case id != nil:
+		if *id < 0 || int(*id) >= *n {
+			return fmt.Errorf("references unknown %s %d", kind, *id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%s or %s_attrs is required", kind, kind)
+	}
+}
+
+// applyBatchLocked applies a validated batch: creates inline entities,
+// interns tags and inserts every action, filling resp's counters. Both the
+// ingest handler and WAL replay run through it, which is what makes replay
+// reconstruct the original execution exactly.
+func (s *Server) applyBatchLocked(actions []IngestAction, resp *IngestResponse) error {
+	for i, a := range actions {
 		user, err := s.resolveEntityLocked(a.User, a.UserAttrs, true)
 		if err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
-			return
+			return fmt.Errorf("actions[%d]: %w", i, err)
 		}
 		item, err := s.resolveEntityLocked(a.Item, a.ItemAttrs, false)
 		if err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
-			return
+			return fmt.Errorf("actions[%d]: %w", i, err)
 		}
 		ids := make([]model.TagID, len(a.Tags))
 		for j, t := range a.Tags {
 			ids[j] = s.ds.Vocab.ID(t)
 		}
 		if err := s.maint.Insert(model.TaggingAction{User: user, Item: item, Rating: a.Rating, Tags: ids}); err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusBadRequest, "actions[%d]: %v (batch applied up to this action)", i, err)
-			return
+			return fmt.Errorf("actions[%d]: %w", i, err)
 		}
-		// Count the insert immediately — in the refresh accounting and the
-		// metrics — so a failure later in the batch leaves both consistent
-		// with what was actually applied.
-		s.unpublished++
 		resp.Inserted++
 		s.metrics.actionsIngested.Inc()
 		if a.UserAttrs != nil {
@@ -703,27 +998,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 			s.metrics.itemsCreated.Inc()
 		}
 	}
-	publish := s.unpublished >= s.cfg.RefreshEvery
-	if req.Refresh != nil {
-		publish = *req.Refresh
-	}
-	if publish {
-		if err := s.publishLocked(); err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
-			return
-		}
-		resp.Published = true
-	}
-	resp.Pending = s.unpublished
-	s.mu.Unlock()
-	if resp.Published {
-		s.prewarm()
-	}
-
-	resp.Epoch = s.snap.Load().Version
-	s.metrics.ingestLatency.Observe(time.Since(start).Seconds())
-	writeJSON(w, http.StatusOK, resp)
+	return nil
 }
 
 // resolveEntityLocked maps an (id, attrs) pair to an entity id, creating
@@ -753,6 +1028,14 @@ func (s *Server) resolveEntityLocked(id *int32, attrs map[string]string, isUser 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.checkDurable()
+	if reason, ok := s.degradedReason(); ok {
+		// Publishing while degraded could expose applied-but-unacknowledged
+		// batches to analyses.
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "read-only mode: %s", reason)
 		return
 	}
 	s.mu.Lock()
@@ -828,6 +1111,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Ingest.Actions = s.metrics.actionsIngested.Value()
 	resp.Ingest.Snapshots = s.metrics.snapshots.Value()
 	resp.Postings.Lists, resp.Postings.Compressed = snap.Store.CompressionStats()
+	if s.dur != nil {
+		ws := s.dur.log.Stats()
+		resp.Durability.Enabled = true
+		resp.Durability.Reason, resp.Durability.Degraded = s.degradedReason()
+		resp.Durability.FsyncMode = s.cfg.FsyncMode.String()
+		resp.Durability.WALLastSeq = ws.LastSeq
+		resp.Durability.WALSizeBytes = ws.SizeBytes
+		resp.Durability.WALAppends = s.metrics.walAppends.Value()
+		resp.Durability.WALFsyncs = ws.Syncs
+		resp.Durability.Checkpoints = s.metrics.checkpoints.Value()
+		resp.Durability.CheckpointLastSeq = s.ckptLastSeq.Load()
+		resp.Durability.CheckpointLastEpoch = s.ckptLastEpoch.Load()
+		resp.Durability.Recovery = s.recovery
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -840,6 +1137,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.reg.WriteText(w)
 }
 
+// handleHealthz is liveness plus durability visibility: a degraded server
+// still answers 200 (it is alive and serving analyses) but reports its
+// read-only state so orchestration and operators can see it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.checkDurable()
+	if reason, ok := s.degradedReason(); ok {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"mode":   "read-only",
+			"reason": reason,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

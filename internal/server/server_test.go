@@ -537,26 +537,48 @@ func TestConfigClampsNonsenseValues(t *testing.T) {
 	}
 }
 
-func TestPartialBatchFailureKeepsAccounting(t *testing.T) {
+func TestBadBatchRejectedAtomically(t *testing.T) {
 	ts := httptest.NewServer(newTestServer(t, func(c *Config) { c.RefreshEvery = 10 }))
 	defer ts.Close()
 
-	// Second action fails: the first must still be counted in pending
-	// inserts and ingest metrics.
+	// The second action is invalid: the whole batch must be rejected with
+	// zero side effects — no applied prefix, no pending inserts, no leaked
+	// entity creations. (Atomic batches are what make WAL replay sound:
+	// every logged record is a fully-applied batch.)
 	good, bad, item := int32(0), int32(99), int32(0)
-	resp, _ := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+	resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
 		{User: &good, Item: &item, Tags: []string{"x"}},
-		{User: &bad, Item: &item, Tags: []string{"y"}},
+		{UserAttrs: map[string]string{"gender": "other"}, Item: &item, Tags: []string{"y"}},
+		{User: &bad, Item: &item, Tags: []string{"z"}},
 	}})
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status = %d, want 400", resp.StatusCode)
+		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, body)
 	}
 	stats := getStats(t, ts)
-	if stats.PendingInserts != 1 {
-		t.Fatalf("pending = %d, want 1 (applied prefix of failed batch)", stats.PendingInserts)
+	if stats.PendingInserts != 0 {
+		t.Fatalf("pending = %d, want 0 (batch must not partially apply)", stats.PendingInserts)
 	}
-	if stats.Ingest.Actions != 1 {
-		t.Fatalf("ingested metric = %d, want 1", stats.Ingest.Actions)
+	if stats.Ingest.Actions != 0 {
+		t.Fatalf("ingested metric = %d, want 0", stats.Ingest.Actions)
+	}
+	if stats.Users != 2 {
+		t.Fatalf("users = %d, want 2 (rejected batch leaked an entity creation)", stats.Users)
+	}
+}
+
+// TestBatchValidationSimulatesInBatchCreation: a later action may reference
+// an entity an earlier action of the same batch creates.
+func TestBatchValidationSimulatesInBatchCreation(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, nil))
+	defer ts.Close()
+
+	newUser, item := int32(2), int32(0) // testDataset has users 0,1
+	resp, body := postJSON(t, ts, "/v1/actions", IngestRequest{Actions: []IngestAction{
+		{UserAttrs: map[string]string{"gender": "other"}, Item: &item, Tags: []string{"x"}},
+		{User: &newUser, Item: &item, Tags: []string{"y"}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %s)", resp.StatusCode, body)
 	}
 }
 

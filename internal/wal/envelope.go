@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Envelope is the self-validating container both the server checkpoints and
+// the analysis snapshot (persist.go) wrap their gob payloads in:
+//
+//	[8-byte magic][u64 payload length LE][u32 crc32c(payload) LE][payload]
+//
+// The length catches truncation before the checksum is even consulted, the
+// checksum catches bit rot and torn writes, and the magic catches feeding
+// the wrong kind of file to a loader. DecodeEnvelope classifies the three
+// failure modes with distinct errors so callers can report them clearly.
+
+const envelopeHeaderSize = 8 + 8 + 4
+
+var (
+	// ErrEnvelopeMagic means the file does not start with the expected
+	// magic — it is not this kind of file (or an older, unversioned one).
+	ErrEnvelopeMagic = errors.New("bad magic")
+	// ErrEnvelopeTruncated means the file ends before the declared payload
+	// length — a partial write or truncated copy.
+	ErrEnvelopeTruncated = errors.New("truncated")
+	// ErrEnvelopeChecksum means the payload bytes do not match their
+	// CRC32C — corruption.
+	ErrEnvelopeChecksum = errors.New("checksum mismatch")
+)
+
+// EncodeEnvelope frames payload under an 8-byte magic. Panics if magic is
+// not exactly 8 bytes — magics are compile-time constants.
+func EncodeEnvelope(magic string, payload []byte) []byte {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("wal: envelope magic %q must be 8 bytes", magic))
+	}
+	out := make([]byte, envelopeHeaderSize+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.Checksum(payload, crcTable))
+	copy(out[envelopeHeaderSize:], payload)
+	return out
+}
+
+// DecodeEnvelope validates the framing and returns the payload.
+func DecodeEnvelope(magic string, data []byte) ([]byte, error) {
+	if len(magic) != 8 {
+		panic(fmt.Sprintf("wal: envelope magic %q must be 8 bytes", magic))
+	}
+	if len(data) < envelopeHeaderSize {
+		if len(data) >= 8 && string(data[:8]) != magic {
+			return nil, fmt.Errorf("%w: got %q, want %q", ErrEnvelopeMagic, data[:8], magic)
+		}
+		return nil, fmt.Errorf("%w: %d bytes, need at least the %d-byte header",
+			ErrEnvelopeTruncated, len(data), envelopeHeaderSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrEnvelopeMagic, data[:8], magic)
+	}
+	length := binary.LittleEndian.Uint64(data[8:16])
+	crc := binary.LittleEndian.Uint32(data[16:20])
+	payload := data[envelopeHeaderSize:]
+	if uint64(len(payload)) < length {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header declares %d",
+			ErrEnvelopeTruncated, len(payload), length)
+	}
+	payload = payload[:length]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, ErrEnvelopeChecksum
+	}
+	return payload, nil
+}

@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the durability layer writes through. The
+// indirection exists for the fault-injection harness: production code uses
+// OSFS, tests wrap it in a FaultFS that injects short writes, fsync
+// failures and crash points without touching the log's own logic.
+type FS interface {
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Stat returns the size of path.
+	Stat(path string) (int64, error)
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself so renames and creates inside it
+	// are durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface: sequential reads or writes plus Sync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(path string) (File, error) { return os.Open(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS. On platforms where directories cannot be fsynced
+// (notably Windows) the error is swallowed: the rename itself is still
+// atomic, only its durability ordering is weaker.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+func isSyncUnsupported(err error) bool {
+	// EINVAL/EBADF from fsync on a directory handle on filesystems that
+	// do not support it; treat as "best effort done".
+	return os.IsPermission(err)
+}

@@ -11,6 +11,7 @@ import (
 	"tagdm/internal/model"
 	"tagdm/internal/signature"
 	"tagdm/internal/store"
+	"tagdm/internal/wal"
 )
 
 // Analysis persistence: Save captures everything needed to answer queries
@@ -19,11 +20,21 @@ import (
 // milliseconds. The group universe is re-derived from the dataset on load
 // (enumeration is cheap and deterministic), and the saved signatures are
 // validated against it.
+//
+// On-disk format (v2): the gob payload is wrapped in the self-validating
+// envelope shared with the server's checkpoints —
+// [8-byte magic][u64 payload length][u32 crc32c][payload] — so Load
+// distinguishes truncation, corruption, and wrong-file errors instead of
+// surfacing a cryptic gob failure mid-decode. Files written by pre-v2
+// builds (bare gob, no envelope) are rejected with a bad-magic error.
 
-const analysisMagic = "tagdm-analysis-v1"
+// analysisMagic identifies a v2 analysis snapshot (8 bytes, as the
+// envelope requires).
+const analysisMagic = "tagdman2"
 
 type analysisSnapshot struct {
-	Magic          string
+	// FormatVersion versions the payload schema within the v2 envelope.
+	FormatVersion  int
 	MinGroupTuples int
 	Topics         int
 	Seed           int64
@@ -32,6 +43,8 @@ type analysisSnapshot struct {
 	Sigs           [][]float64
 }
 
+const analysisFormatVersion = 2
+
 // Save writes the analysis (dataset + signatures + options) to w.
 func (a *Analysis) Save(w io.Writer) error {
 	var ds bytes.Buffer
@@ -39,7 +52,7 @@ func (a *Analysis) Save(w io.Writer) error {
 		return fmt.Errorf("tagdm: serializing dataset: %w", err)
 	}
 	snap := analysisSnapshot{
-		Magic:          analysisMagic,
+		FormatVersion:  analysisFormatVersion,
 		MinGroupTuples: a.opts.MinGroupTuples,
 		Topics:         a.opts.Topics,
 		Seed:           a.opts.Seed,
@@ -50,8 +63,12 @@ func (a *Analysis) Save(w io.Writer) error {
 	for i, s := range a.sigs {
 		snap.Sigs[i] = s.Weights
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		return fmt.Errorf("tagdm: encoding analysis: %w", err)
+	}
+	if _, err := w.Write(wal.EncodeEnvelope(analysisMagic, payload.Bytes())); err != nil {
+		return fmt.Errorf("tagdm: writing analysis: %w", err)
 	}
 	return nil
 }
@@ -118,13 +135,24 @@ func (a *Analysis) datasetOf() *Dataset {
 
 // LoadAnalysis restores an analysis written by Save. Signatures are reused
 // as saved, so the expensive summarization (LDA) is skipped entirely.
+// Truncated or corrupt input is rejected up front by the envelope's length
+// and checksum, with an error naming the failure mode.
 func LoadAnalysis(r io.Reader) (*Analysis, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tagdm: reading analysis snapshot: %w", err)
+	}
+	payload, err := wal.DecodeEnvelope(analysisMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("tagdm: invalid analysis snapshot: %w", err)
+	}
 	var snap analysisSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("tagdm: decoding analysis: %w", err)
 	}
-	if snap.Magic != analysisMagic {
-		return nil, fmt.Errorf("tagdm: unexpected snapshot header %q", snap.Magic)
+	if snap.FormatVersion != analysisFormatVersion {
+		return nil, fmt.Errorf("tagdm: analysis snapshot format version %d, want %d",
+			snap.FormatVersion, analysisFormatVersion)
 	}
 	ds, err := ReadDatasetJSON(bytes.NewReader(snap.DatasetJSON))
 	if err != nil {

@@ -78,6 +78,57 @@ func TestLoadAnalysisRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestLoadAnalysisRejectsTruncationAtEveryByte(t *testing.T) {
+	ds := smallDataset(t)
+	orig, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must be rejected with an error — never a panic,
+	// never a silently-partial Analysis.
+	for n := 0; n < len(full); n++ {
+		if _, err := LoadAnalysis(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", n, len(full))
+		}
+	}
+	// Sanity: the untruncated snapshot still loads.
+	if _, err := LoadAnalysis(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+}
+
+func TestLoadAnalysisRejectsCorruption(t *testing.T) {
+	ds := smallDataset(t)
+	orig, err := NewAnalysis(ds, Options{Signatures: SignatureFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one bit in the payload region (past the 20-byte envelope
+	// header): the CRC must catch it.
+	corrupt := bytes.Clone(full)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if _, err := LoadAnalysis(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit flip accepted")
+	}
+	// Wrong magic (e.g. a v1 file or a checkpoint file) is rejected with a
+	// magic error, not a gob failure deep in decode.
+	wrong := bytes.Clone(full)
+	copy(wrong, "notmagic")
+	if _, err := LoadAnalysis(bytes.NewReader(wrong)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
 func TestAnalysisSaveLoadLDA(t *testing.T) {
 	// LDA signatures survive the round trip verbatim even though the
 	// model itself is not persisted.
