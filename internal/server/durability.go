@@ -284,9 +284,20 @@ func (s *Server) Checkpoint() error {
 		Actions:        s.maint.Store().Len(),
 	}
 	datasetJSON, err := s.encodeDatasetLocked()
+	// Reset the progress counter at capture so actions ingested during the
+	// checkpoint count toward the next one; if the checkpoint fails before
+	// its file is durable, add the saved count back so the next automatic
+	// checkpoint is not deferred by a full CheckpointEvery window.
+	savedProgress := s.sinceCkpt
 	s.sinceCkpt = 0
 	s.mu.Unlock()
+	restoreProgress := func() {
+		s.mu.Lock()
+		s.sinceCkpt += savedProgress
+		s.mu.Unlock()
+	}
 	if err != nil {
+		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
 		return fmt.Errorf("server: serializing dataset for checkpoint: %w", err)
 	}
@@ -295,6 +306,7 @@ func (s *Server) Checkpoint() error {
 	// Everything the checkpoint covers must be durable before the
 	// checkpoint claims coverage.
 	if err := s.dur.log.Sync(); err != nil {
+		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
 		s.degrade("wal sync for checkpoint", err)
 		return err
@@ -302,11 +314,13 @@ func (s *Server) Checkpoint() error {
 
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(body); err != nil {
+		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
 		return fmt.Errorf("server: encoding checkpoint: %w", err)
 	}
 	if err := writeFileAtomic(s.dur.fs, s.dur.dir, ckptName(covered),
 		wal.EncodeEnvelope(ckptMagic, payload.Bytes())); err != nil {
+		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
 		s.degrade("checkpoint write", err)
 		return err

@@ -12,10 +12,11 @@ import (
 //
 //	[8-byte magic][u64 payload length LE][u32 crc32c(payload) LE][payload]
 //
-// The length catches truncation before the checksum is even consulted, the
-// checksum catches bit rot and torn writes, and the magic catches feeding
-// the wrong kind of file to a loader. DecodeEnvelope classifies the three
-// failure modes with distinct errors so callers can report them clearly.
+// The length catches truncation (and trailing garbage) before the checksum
+// is even consulted, the checksum catches bit rot and torn writes, and the
+// magic catches feeding the wrong kind of file to a loader. DecodeEnvelope
+// classifies the failure modes with distinct errors so callers can report
+// them clearly.
 
 const envelopeHeaderSize = 8 + 8 + 4
 
@@ -29,6 +30,10 @@ var (
 	// ErrEnvelopeChecksum means the payload bytes do not match their
 	// CRC32C — corruption.
 	ErrEnvelopeChecksum = errors.New("checksum mismatch")
+	// ErrEnvelopeTrailing means the file continues past the declared
+	// payload length — trailing garbage, e.g. a larger file partially
+	// overwritten with a shorter envelope.
+	ErrEnvelopeTrailing = errors.New("trailing bytes")
 )
 
 // EncodeEnvelope frames payload under an 8-byte magic. Panics if magic is
@@ -67,7 +72,10 @@ func DecodeEnvelope(magic string, data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: payload is %d bytes, header declares %d",
 			ErrEnvelopeTruncated, len(payload), length)
 	}
-	payload = payload[:length]
+	if uint64(len(payload)) > length {
+		return nil, fmt.Errorf("%w: %d bytes past the declared %d-byte payload",
+			ErrEnvelopeTrailing, uint64(len(payload))-length, length)
+	}
 	if crc32.Checksum(payload, crcTable) != crc {
 		return nil, ErrEnvelopeChecksum
 	}

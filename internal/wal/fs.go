@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
 )
 
 // FS is the filesystem surface the durability layer writes through. The
@@ -111,7 +113,10 @@ func (OSFS) SyncDir(dir string) error {
 }
 
 func isSyncUnsupported(err error) bool {
-	// EINVAL/EBADF from fsync on a directory handle on filesystems that
-	// do not support it; treat as "best effort done".
-	return os.IsPermission(err)
+	// Filesystems that cannot fsync a directory handle report EINVAL,
+	// ENOTSUP or EBADF; treat those as "best effort done". Anything else
+	// (EIO, permission errors) is a real failure and must propagate.
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.EBADF) ||
+		errors.Is(err, syscall.ENOTSUP)
 }

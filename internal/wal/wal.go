@@ -621,9 +621,27 @@ func (l *Log) Sync() error {
 func (l *Log) Rotate() error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
-	l.flushPendingLocked()
-	if err := l.failedNow(); err != nil {
-		return err
+	// The drained check and the nextSeq read must share one l.mu critical
+	// section: Enqueue only takes l.mu, so a record enqueued during the
+	// drain's write+fsync would otherwise carry a sequence below `first`
+	// yet be flushed into the new wal-<first> segment, which recovery
+	// would misread as a torn tail (dropping an acknowledged record) or as
+	// corruption. Records enqueued after the check get seq >= first and
+	// land in the new segment — correct — because the flusher blocks on
+	// wmu until the swap below completes.
+	var first uint64
+	for {
+		l.flushPendingLocked()
+		if err := l.failedNow(); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		drained := len(l.pending) == 0
+		first = l.nextSeq
+		l.mu.Unlock()
+		if drained {
+			break
+		}
 	}
 	if l.opts.Sync != SyncAlways {
 		if err := l.syncLocked(); err != nil {
@@ -631,9 +649,6 @@ func (l *Log) Rotate() error {
 			return err
 		}
 	}
-	l.mu.Lock()
-	first := l.nextSeq
-	l.mu.Unlock()
 	// An empty open segment is already the fresh segment a rotation would
 	// produce; rotating it would create a second segment with the same
 	// firstSeq-derived name, and RemoveBefore would then unlink the file

@@ -416,6 +416,86 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestRotateRacingEnqueue pins the fix for a race where a record enqueued
+// while Rotate was mid-drain (Enqueue only takes mu, Rotate's write+fsync
+// holds only wmu) could be assigned a sequence below the new segment's
+// firstSeq yet be flushed as that segment's first frame — on the next Open
+// the sequence mismatch read as a torn tail, silently dropping the
+// acknowledged record. Hammer rotations against concurrent appends, then
+// reopen and verify every acknowledged record survived.
+func TestRotateRacingEnqueue(t *testing.T) {
+	dir := t.TempDir()
+	// A non-zero flush interval widens the window between Rotate's drain
+	// and its firstSeq read that the race needed.
+	l := mustOpen(t, dir, Options{FlushInterval: 200 * time.Microsecond, Sync: SyncNone})
+
+	const n = 400
+	done := make(chan struct{})
+	var rotErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := l.Rotate(); err != nil {
+				rotErr = err
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r-%04d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if rotErr != nil {
+		t.Fatalf("Rotate: %v", rotErr)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reopened := mustOpen(t, dir, quickOpts())
+	defer reopened.Close()
+	if reopened.Recovery().TornTruncated {
+		t.Fatal("clean shutdown reported torn truncation — a record landed in the wrong segment")
+	}
+	got := collect(t, reopened, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("r-%04d", i); got[uint64(i+1)] != want {
+			t.Fatalf("seq %d = %q, want %q", i+1, got[uint64(i+1)], want)
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejectsTrailingBytes(t *testing.T) {
+	const magic = "testmag1"
+	payload := []byte("payload-bytes")
+	enc := EncodeEnvelope(magic, payload)
+
+	if got, err := DecodeEnvelope(magic, enc); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean decode = (%q, %v), want (%q, nil)", got, err, payload)
+	}
+	// A shorter envelope written over a longer file leaves trailing
+	// garbage past the declared length; it must not pass validation.
+	if _, err := DecodeEnvelope(magic, append(bytes.Clone(enc), "junk"...)); !errors.Is(err, ErrEnvelopeTrailing) {
+		t.Fatalf("decode with trailing bytes = %v, want ErrEnvelopeTrailing", err)
+	}
+	if _, err := DecodeEnvelope(magic, enc[:len(enc)-1]); !errors.Is(err, ErrEnvelopeTruncated) {
+		t.Fatalf("decode truncated = %v, want ErrEnvelopeTruncated", err)
+	}
+}
+
 func TestParseSyncMode(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
