@@ -200,6 +200,7 @@ func loadDataset(dataFile, generate, userAttrs, itemAttrs, dataDir string) (*tag
 		if err != nil {
 			return nil, err
 		}
+		//tagdm:allow-discard read-only dataset handle, nothing buffered to lose
 		defer f.Close()
 		return tagdm.ReadDatasetJSON(f)
 	case generate != "":

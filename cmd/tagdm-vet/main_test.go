@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tagdm/internal/analysis/load"
+)
+
+// buildVet compiles the tagdm-vet binary into a temp dir.
+func buildVet(t *testing.T, root string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tagdm-vet")
+	cmd := exec.Command("go", "build", "-o", bin, "tagdm/cmd/tagdm-vet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tagdm-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolProtocol drives the binary through the real `go vet -vettool`
+// protocol: the module's own packages must come back clean, and a scratch
+// module that claims a scoped import path and violates two invariants must
+// fail the vet run with both diagnostics on stderr.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	root, err := load.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := buildVet(t, root)
+
+	t.Run("version probe", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").Output()
+		if err != nil {
+			t.Fatalf("-V=full: %v", err)
+		}
+		f := strings.Fields(string(out))
+		// The go command parses this line as the tool's cache key and
+		// requires exactly this shape for a devel tool.
+		if len(f) < 3 || f[0] != "tagdm-vet" || f[1] != "version" ||
+			(f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=")) {
+			t.Fatalf("-V=full output %q does not satisfy the go command's toolID format", out)
+		}
+	})
+
+	t.Run("clean package", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/wal/")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet -vettool over internal/wal: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("seeded violations", func(t *testing.T) {
+		// A module claiming a scoped production import path puts its files
+		// in ctxflow/errsink territory without touching the real tree.
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module tagdm/internal/server\n\ngo 1.24\n")
+		writeFile(t, filepath.Join(dir, "bad.go"), `package server
+
+import (
+	"context"
+	"os"
+)
+
+func leak(f *os.File) {
+	f.Close()
+}
+
+func stray() context.Context {
+	return context.Background()
+}
+`)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, ".")
+		cmd.Dir = dir
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Run(); err == nil {
+			t.Fatalf("go vet passed over seeded violations:\n%s", out.String())
+		}
+		for _, want := range []string{"[errsink]", "[ctxflow]", "error from Close is discarded", "context.Background below the facade"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("vet output missing %q:\n%s", want, out.String())
+			}
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -175,6 +175,7 @@ func loadDataset(path string) (*tagdm.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	//tagdm:allow-discard read-only dataset handle, nothing buffered to lose
 	defer f.Close()
 	return tagdm.ReadDatasetJSON(f)
 }

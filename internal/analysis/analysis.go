@@ -1,0 +1,283 @@
+// Package analysis is a self-contained, dependency-free reimplementation
+// of the golang.org/x/tools/go/analysis core: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are reported through the pass. The repo cannot take the
+// x/tools dependency (the module is deliberately stdlib-only), so the
+// subset needed by the tagdm-vet suite lives here — same shape, same
+// testdata conventions (`// want` annotations), same `go vet -vettool`
+// protocol (see internal/analysis/unitchecker).
+//
+// What the framework adds over bare AST walking:
+//
+//   - Markers: `//tagdm:` directives read from declaration comments, plus
+//     derived facts (e.g. "this function blocks"), shared across packages
+//     through vetx fact files so analyzers see annotations on imported
+//     declarations (internal/analysis/markers.go).
+//   - Suppression: a `//tagdm:nolint <analyzer> -- reason` comment on (or
+//     immediately above) the offending line silences one finding; the
+//     driver enforces that a reason is present.
+//   - Test exemption: diagnostics in _test.go files are dropped by the
+//     drivers — the suite enforces production invariants.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint comments.
+	Name string
+	// Doc is the one-paragraph description printed by tagdm-vet -help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Markers exposes tagdm: directives and derived facts for this package
+	// and everything it imports.
+	Markers *MarkerView
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass; drivers call this once per (package, analyzer).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, markers *MarkerView, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Markers: markers, report: report}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers use it
+// to scope invariants to production code; the drivers additionally filter
+// any diagnostic positioned in a test file, so this is belt and braces.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathIs reports whether the analyzed package's import path is one of
+// paths. Analyzer testdata packages claim the production import path they
+// exercise (analysistest loads them under an explicit path), so scoping by
+// path works identically on the real tree and in tests.
+func (p *Pass) PathIs(paths ...string) bool {
+	for _, path := range paths {
+		if p.Pkg.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncFor returns the *types.Func a call expression resolves to, nil for
+// calls through function values, conversions and built-ins.
+func (p *Pass) FuncFor(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := p.TypesInfo.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// TargetObj resolves a selector or identifier expression to the variable
+// object (struct field or var) it denotes, nil for anything else.
+func (p *Pass) TargetObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := p.TypesInfo.Selections[e]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		if v, ok := p.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := p.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// IsConstString reports whether e is a compile-time string constant
+// (literal or const ident).
+func (p *Pass) IsConstString(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// Suppressions collects every `//tagdm:nolint <analyzers...>` comment in
+// the files, keyed by the line the suppression applies to: the comment's
+// own line, and — for a comment alone on its line — the line below it.
+type Suppressions struct {
+	// byLine maps file:line to the set of suppressed analyzer names
+	// ("all" suppresses every analyzer).
+	byLine map[string]map[string]bool
+}
+
+// CollectSuppressions scans the files of one package.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//tagdm:nolint")
+				if !ok {
+					continue
+				}
+				names := strings.TrimSpace(rest)
+				if i := strings.Index(names, "--"); i >= 0 {
+					names = strings.TrimSpace(names[:i])
+				}
+				pos := fset.Position(c.Pos())
+				set := map[string]bool{}
+				if names == "" {
+					set["all"] = true
+				}
+				for _, n := range strings.Fields(names) {
+					set[strings.TrimSuffix(n, ",")] = true
+				}
+				s.add(pos.Filename, pos.Line, set)
+				// A directive alone on its line suppresses the next line.
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					s.add(pos.Filename, pos.Line+1, set)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) add(file string, line int, names map[string]bool) {
+	key := fmt.Sprintf("%s:%d", file, line)
+	if s.byLine[key] == nil {
+		s.byLine[key] = map[string]bool{}
+	}
+	for n := range names {
+		s.byLine[key][n] = true
+	}
+}
+
+// Suppressed reports whether the diagnostic is silenced by a nolint
+// comment on its line or on the line above.
+func (s *Suppressions) Suppressed(d Diagnostic) bool {
+	set := s.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+	return set != nil && (set["all"] || set[d.Analyzer])
+}
+
+// DirectiveLines collects every `//tagdm:<name>` comment in the files,
+// returning the directive's argument text keyed by "file:line" for the
+// lines the directive covers: its own line and — when the comment stands
+// alone on its line — the line below. Analyzers use this for positional
+// directives (`//tagdm:cancellable`, `//tagdm:allow-discard <reason>`)
+// that attach to statements rather than declarations.
+func DirectiveLines(fset *token.FileSet, files []*ast.File, name string) map[string]string {
+	out := map[string]string{}
+	prefix := "//tagdm:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				args := strings.TrimSpace(rest)
+				pos := fset.Position(c.Pos())
+				out[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = args
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					out[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = args
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LineKey renders the "file:line" key DirectiveLines uses for pos.
+func (p *Pass) LineKey(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+}
+
+// onlyCommentOnLine reports whether c starts its source line (ignoring
+// whitespace): such comments also cover the following line.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// Walk the file's declarations looking for any node that ends on the
+	// comment's line before the comment starts.
+	covered := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || covered {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		end := fset.Position(n.End())
+		if end.Line == pos.Line && end.Column <= pos.Column {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+			default:
+				covered = true
+			}
+		}
+		return true
+	})
+	return !covered
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestSuppressions(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func a() {
+	work() //tagdm:nolint errsink -- trailing form
+	//tagdm:nolint lockscope, durorder -- standalone form covers the next line
+	work()
+	//tagdm:nolint -- bare form suppresses every analyzer
+	work()
+}
+
+func work() {}
+`)
+	sup := CollectSuppressions(fset, []*ast.File{f})
+	diag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "src.go", Line: line}}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{diag(4, "errsink"), true},
+		{diag(4, "lockscope"), false},
+		{diag(6, "lockscope"), true},
+		{diag(6, "durorder"), true},
+		{diag(6, "errsink"), false},
+		{diag(8, "metriclabels"), true}, // bare nolint
+		{diag(10, "errsink"), false},    // uncommented line
+	}
+	for _, c := range cases {
+		if got := sup.Suppressed(c.d); got != c.want {
+			t.Errorf("Suppressed(line %d, %s) = %v, want %v", c.d.Pos.Line, c.d.Analyzer, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveLines(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func a() {
+	work() //tagdm:allow-discard trailing reason
+	//tagdm:allow-discard standalone reason
+	work()
+	//tagdm:allow-discardX not this directive
+	work()
+}
+
+func work() {}
+`)
+	lines := DirectiveLines(fset, []*ast.File{f}, "allow-discard")
+	if got := lines["src.go:4"]; got != "trailing reason" {
+		t.Errorf("line 4 args = %q", got)
+	}
+	// The standalone comment covers its own line and the line below.
+	if got := lines["src.go:5"]; got != "standalone reason" {
+		t.Errorf("line 5 args = %q", got)
+	}
+	if got := lines["src.go:6"]; got != "standalone reason" {
+		t.Errorf("line 6 args = %q", got)
+	}
+	// A trailing comment does not cover the next line.
+	if _, ok := lines["src.go:5"]; !ok {
+		t.Error("standalone directive lost its own line")
+	}
+	if _, ok := lines["src.go:7"]; ok {
+		t.Error("allow-discardX matched the allow-discard prefix")
+	}
+	if _, ok := lines["src.go:8"]; ok {
+		t.Error("allow-discardX covered the next line")
+	}
+}
+
+func TestDirectiveMarkers(t *testing.T) {
+	_, f := parse(t, `package p
+
+// Doc text.
+//
+//tagdm:mutex nonblocking
+//tagdm:blocking
+//tagdm:nolint errsink -- positional, skipped
+//tagdm:allow-discard positional, skipped
+//tagdm:cancellable
+func a() {}
+`)
+	decl := f.Decls[0].(*ast.FuncDecl)
+	got := directiveMarkers(decl.Doc)
+	want := []string{"mutex-nonblocking", "blocking"}
+	if len(got) != len(want) {
+		t.Fatalf("markers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("markers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMarkersEncodeDecode(t *testing.T) {
+	m := &Markers{PkgPath: "tagdm/internal/wal", Objects: map[string][]string{}}
+	m.add("Log.Enqueue", "nonblocking")
+	m.add("Log.Enqueue", "nonblocking") // idempotent
+	m.add("Ticket.Wait", "blocking")
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMarkers(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Has("Log.Enqueue", "nonblocking") || !back.Has("Ticket.Wait", "blocking") {
+		t.Fatalf("roundtrip lost markers: %+v", back.Objects)
+	}
+	if back.Has("Log.Enqueue", "blocking") {
+		t.Error("Has reported a marker that was never added")
+	}
+	if len(back.Objects["Log.Enqueue"]) != 1 {
+		t.Errorf("add is not idempotent: %v", back.Objects["Log.Enqueue"])
+	}
+	var nilM *Markers
+	if nilM.Has("x", "y") {
+		t.Error("nil Markers must report nothing")
+	}
+}
+
+func TestBodyBlocks(t *testing.T) {
+	_, f := parse(t, `package p
+
+func send(ch chan int)     { ch <- 1 }
+func recv(ch chan int)     { <-ch }
+func sel(ch chan int)      { select { case <-ch: } }
+func selDefault(ch chan int) {
+	select {
+	case <-ch:
+		work()
+	default:
+	}
+}
+func lit(ch chan int)  { f := func() { ch <- 1 }; _ = f }
+func spawn(ch chan int) { go func() { <-ch }() }
+func calls()           { work() }
+func work()            {}
+`)
+	never := func(*ast.CallExpr) bool { return false }
+	always := func(*ast.CallExpr) bool { return true }
+	bodies := map[string]*ast.BlockStmt{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			bodies[fd.Name.Name] = fd.Body
+		}
+	}
+	cases := []struct {
+		fn       string
+		classify func(*ast.CallExpr) bool
+		want     bool
+	}{
+		{"send", never, true},
+		{"recv", never, true},
+		{"sel", never, true},
+		{"selDefault", never, false}, // default case shields the comm clauses
+		{"selDefault", always, true}, // ...but not calls in clause bodies
+		{"lit", never, false},        // function literals are not entered
+		{"spawn", never, false},      // the goroutine blocks, not the caller
+		{"calls", never, false},
+		{"calls", always, true},
+	}
+	for _, c := range cases {
+		if got := bodyBlocks(bodies[c.fn], c.classify); got != c.want {
+			t.Errorf("bodyBlocks(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestStmtExprs(t *testing.T) {
+	_, f := parse(t, `package p
+
+func a(ch chan int, xs []int) {
+	work()
+	x := work2()
+	x++
+	ch <- x
+	if x > 0 {
+	}
+	for x < 10 {
+	}
+	for range xs {
+	}
+	switch x {
+	}
+	var y = work2()
+	_ = y
+	go work()
+	defer work()
+	return
+}
+
+func work() {}
+func work2() int { return 0 }
+`)
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	counts := map[string]int{}
+	for _, stmt := range body.List {
+		key := typeName(stmt)
+		counts[key] += len(StmtExprs(stmt))
+	}
+	want := map[string]int{
+		"*ast.ExprStmt":   1, // work()
+		"*ast.AssignStmt": 4, // x := work2(); _ = y → rhs+lhs counted
+		"*ast.IncDecStmt": 1,
+		"*ast.SendStmt":   2,
+		"*ast.IfStmt":     1,
+		"*ast.ForStmt":    1,
+		"*ast.RangeStmt":  1,
+		"*ast.SwitchStmt": 1,
+		"*ast.DeclStmt":   1,
+		"*ast.GoStmt":     0, // no args
+		"*ast.DeferStmt":  0,
+		"*ast.ReturnStmt": 0,
+	}
+	for key, n := range want {
+		if counts[key] != n {
+			t.Errorf("StmtExprs over %s yielded %d exprs, want %d", key, counts[key], n)
+		}
+	}
+}
+
+func typeName(n ast.Node) string {
+	switch n.(type) {
+	case *ast.ExprStmt:
+		return "*ast.ExprStmt"
+	case *ast.AssignStmt:
+		return "*ast.AssignStmt"
+	case *ast.IncDecStmt:
+		return "*ast.IncDecStmt"
+	case *ast.SendStmt:
+		return "*ast.SendStmt"
+	case *ast.IfStmt:
+		return "*ast.IfStmt"
+	case *ast.ForStmt:
+		return "*ast.ForStmt"
+	case *ast.RangeStmt:
+		return "*ast.RangeStmt"
+	case *ast.SwitchStmt:
+		return "*ast.SwitchStmt"
+	case *ast.DeclStmt:
+		return "*ast.DeclStmt"
+	case *ast.GoStmt:
+		return "*ast.GoStmt"
+	case *ast.DeferStmt:
+		return "*ast.DeferStmt"
+	case *ast.ReturnStmt:
+		return "*ast.ReturnStmt"
+	}
+	return "other"
+}
+
+func TestSortDiagnosticsAndString(t *testing.T) {
+	ds := []Diagnostic{
+		{Analyzer: "b", Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}, Message: "second file"},
+		{Analyzer: "b", Pos: token.Position{Filename: "a.go", Line: 2, Column: 1}, Message: "later line"},
+		{Analyzer: "b", Pos: token.Position{Filename: "a.go", Line: 1, Column: 2}, Message: "later column"},
+		{Analyzer: "a", Pos: token.Position{Filename: "a.go", Line: 1, Column: 2}, Message: "earlier analyzer"},
+		{Analyzer: "a", Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}, Message: "first"},
+	}
+	SortDiagnostics(ds)
+	wantOrder := []string{"first", "earlier analyzer", "later column", "later line", "second file"}
+	for i, want := range wantOrder {
+		if ds[i].Message != want {
+			t.Fatalf("order[%d] = %q, want %q (full: %v)", i, ds[i].Message, want, ds)
+		}
+	}
+	if got := ds[0].String(); got != "a.go:1:1: first [a]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestHeldLockHelpers(t *testing.T) {
+	a := []HeldLock{{Key: "s.mu"}, {Key: "s.wmu", Deferred: true}}
+	if got := nonDeferred(a); len(got) != 1 || got[0].Key != "s.mu" {
+		t.Errorf("nonDeferred = %v", got)
+	}
+	b := []HeldLock{{Key: "s.mu"}, {Key: "l.mu", RLock: true}}
+	u := unionHeld(a, b)
+	if len(u) != 3 { // s.mu dedups, s.wmu and l.mu(R) join
+		t.Errorf("unionHeld = %v", u)
+	}
+}

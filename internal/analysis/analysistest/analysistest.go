@@ -1,0 +1,127 @@
+// Package analysistest checks an analyzer against a testdata package, in
+// the manner of golang.org/x/tools/go/analysis/analysistest: source lines
+// carry `// want "regexp"` comments naming the diagnostics the analyzer
+// must report on that line, and the harness fails the test on any missing
+// or unexpected finding. Testdata packages are loaded under a claimed
+// import path (see load.Dir) so path-scoped analyzers behave exactly as
+// they do on the production tree.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tagdm/internal/analysis"
+	"tagdm/internal/analysis/load"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE matches the trailing want comment of a source line.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans one file's source for want expectations.
+func parseWants(path string) ([]*expectation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			if rest[0] != '"' && rest[0] != '`' {
+				return nil, fmt.Errorf("%s:%d: malformed want comment near %q", path, i+1, rest)
+			}
+			lit, remainder, err := cutStringLit(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+			}
+			re, err := regexp.Compile(lit)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, i+1, err)
+			}
+			out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			rest = strings.TrimSpace(remainder)
+		}
+	}
+	return out, nil
+}
+
+// cutStringLit splits one leading Go string literal off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("unquoting %q: %v", s[:i+1], err)
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want comment: %q", s)
+}
+
+// Run loads dir as a package claiming import path asPath, applies the
+// analyzer, and compares its diagnostics against the `// want` comments.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := load.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		path := pkg.Fset.Position(f.Pos()).Filename
+		ws, err := parseWants(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && filepath.Clean(w.file) == filepath.Clean(d.Pos.Filename) &&
+				w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.pattern)
+		}
+	}
+}

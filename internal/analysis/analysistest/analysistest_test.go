@@ -1,0 +1,17 @@
+package analysistest_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/errsink"
+)
+
+// TestHarnessAgainstRealTestdata runs the harness over an analyzer's own
+// testdata, exercising want-comment parsing and matching end to end: the
+// errsink testdata contains flagged lines (regex wants), annotated clean
+// lines, and plain clean lines, so a harness that over- or under-matches
+// fails this test through the inner *testing.T.
+func TestHarnessAgainstRealTestdata(t *testing.T) {
+	analysistest.Run(t, "../passes/errsink/testdata/wal", "tagdm/internal/wal", errsink.Analyzer)
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HeldLock is one tracked mutex currently held at a program point.
+type HeldLock struct {
+	// Key is the source rendering of the lock receiver ("s.mu", "l.wmu"),
+	// used to pair Lock with Unlock inside one function.
+	Key string
+	// Pos is where the lock was acquired.
+	Pos ast.Node
+	// Deferred means the matching unlock is registered via defer, so the
+	// lock is legitimately held until every return.
+	Deferred bool
+	// RLock distinguishes read acquisition on an RWMutex.
+	RLock bool
+}
+
+// LockEvent classifies a mutex method call found by the walker.
+type LockEvent int
+
+const (
+	NoLockEvent LockEvent = iota
+	AcquireEvent
+	ReleaseEvent
+)
+
+// lockCall decodes expr as a call to a Lock/RLock/Unlock/RUnlock method on
+// a sync.Mutex/sync.RWMutex-typed selector and returns the event, the
+// receiver key, and whether it is the read side. TryLock never blocks and
+// is ignored.
+func lockCall(info *types.Info, expr ast.Expr) (ev LockEvent, key string, rlock bool, recv types.Type, field string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return NoLockEvent, "", false, nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return NoLockEvent, "", false, nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		ev = AcquireEvent
+	case "RLock":
+		ev, rlock = AcquireEvent, true
+	case "Unlock":
+		ev = ReleaseEvent
+	case "RUnlock":
+		ev, rlock = ReleaseEvent, true
+	default:
+		return NoLockEvent, "", false, nil, ""
+	}
+	// The receiver must be a sync mutex value: s.mu, l.wmu, or a bare mu.
+	recvExpr := ast.Unparen(sel.X)
+	tv, ok := info.Types[recvExpr]
+	if !ok || !isSyncMutex(tv.Type) {
+		return NoLockEvent, "", false, nil, ""
+	}
+	if fieldSel, ok := recvExpr.(*ast.SelectorExpr); ok {
+		if s := info.Selections[fieldSel]; s != nil {
+			recv, field = s.Recv(), fieldSel.Sel.Name
+		}
+	}
+	return ev, types.ExprString(recvExpr), rlock, recv, field
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// LockWalker drives a per-function, per-statement traversal that tracks
+// which mutexes are held. It is a syntactic approximation, not a dataflow
+// analysis: states from if/else branches are unioned (a lock held on any
+// incoming branch counts as held), loops are assumed lock-balanced, and
+// function literals are not entered. That is precise enough for this
+// codebase's convention of block-scoped critical sections, and errs toward
+// reporting when lock handling is irregular — which is exactly the smell
+// the suite exists to surface.
+type LockWalker struct {
+	Info *types.Info
+	// Tracked reports whether the mutex behind a lock call participates in
+	// tracking (e.g. only fields marked //tagdm:mutex nonblocking).
+	Tracked func(recv types.Type, field string, key string) bool
+	// Visit is called for every statement in source order with the locks
+	// held on entry to that statement.
+	Visit func(stmt ast.Stmt, held []HeldLock)
+	// VisitReturn, when set, is called for each return statement with the
+	// locks still held there (deferred unlocks excluded).
+	VisitReturn func(ret *ast.ReturnStmt, held []HeldLock)
+}
+
+// WalkFunc traverses one function body.
+func (w *LockWalker) WalkFunc(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	w.walkBlock(body.List, nil)
+}
+
+// walkBlock interprets stmts starting with the held set; it returns the
+// held set at fall-through exit and whether the block always terminates
+// (return/panic) before falling through.
+func (w *LockWalker) walkBlock(stmts []ast.Stmt, held []HeldLock) (out []HeldLock, terminated bool) {
+	held = append([]HeldLock(nil), held...)
+	for _, stmt := range stmts {
+		if w.Visit != nil {
+			w.Visit(stmt, held)
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			held = w.applyLockEvent(s.X, held, false)
+		case *ast.DeferStmt:
+			held = w.applyLockEvent(s.Call, held, true)
+		case *ast.ReturnStmt:
+			if w.VisitReturn != nil {
+				w.VisitReturn(s, nonDeferred(held))
+			}
+			return held, true
+		case *ast.BranchStmt:
+			// break/continue/goto: stop interpreting this block; treat as
+			// termination of the linear path.
+			return held, true
+		case *ast.BlockStmt:
+			var term bool
+			held, term = w.walkBlock(s.List, held)
+			if term {
+				return held, true
+			}
+		case *ast.IfStmt:
+			held = w.walkIf(s, held)
+		case *ast.ForStmt:
+			if s.Init != nil && w.Visit != nil {
+				w.Visit(s.Init, held)
+			}
+			if s.Post != nil && w.Visit != nil {
+				w.Visit(s.Post, held)
+			}
+			w.walkBlock(s.Body.List, held)
+		case *ast.RangeStmt:
+			w.walkBlock(s.Body.List, held)
+		case *ast.SwitchStmt:
+			held = w.walkClauses(caseBodies(s.Body), held)
+		case *ast.TypeSwitchStmt:
+			held = w.walkClauses(caseBodies(s.Body), held)
+		case *ast.SelectStmt:
+			held = w.walkClauses(commBodies(s.Body), held)
+		case *ast.LabeledStmt:
+			var term bool
+			held, term = w.walkBlock([]ast.Stmt{s.Stmt}, held)
+			if term {
+				return held, true
+			}
+		}
+	}
+	return held, false
+}
+
+// walkIf merges the fall-through states of both branches (union of held
+// locks); a branch that terminates contributes nothing.
+func (w *LockWalker) walkIf(s *ast.IfStmt, held []HeldLock) []HeldLock {
+	if s.Init != nil && w.Visit != nil {
+		w.Visit(s.Init, held)
+	}
+	thenOut, thenTerm := w.walkBlock(s.Body.List, held)
+	elseOut, elseTerm := held, false
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		elseOut, elseTerm = w.walkBlock(e.List, held)
+	case *ast.IfStmt:
+		elseOut, elseTerm = w.walkBlock([]ast.Stmt{e}, held)
+	case nil:
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return held
+	case thenTerm:
+		return elseOut
+	case elseTerm:
+		return thenOut
+	default:
+		return unionHeld(thenOut, elseOut)
+	}
+}
+
+func (w *LockWalker) walkClauses(bodies [][]ast.Stmt, held []HeldLock) []HeldLock {
+	out := held
+	for _, body := range bodies {
+		clauseOut, term := w.walkBlock(body, held)
+		if !term {
+			out = unionHeld(out, clauseOut)
+		}
+	}
+	return out
+}
+
+// applyLockEvent updates held for a (possibly deferred) lock method call.
+func (w *LockWalker) applyLockEvent(expr ast.Expr, held []HeldLock, deferred bool) []HeldLock {
+	ev, key, rlock, recv, field := lockCall(w.Info, expr)
+	if ev == NoLockEvent {
+		return held
+	}
+	if w.Tracked != nil && !w.Tracked(recv, field, key) {
+		return held
+	}
+	switch {
+	case ev == AcquireEvent && !deferred:
+		return append(held, HeldLock{Key: key, Pos: expr, RLock: rlock})
+	case ev == ReleaseEvent && deferred:
+		// defer mu.Unlock(): the most recent matching acquisition is held
+		// to end of function by design.
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].Key == key && held[i].RLock == rlock && !held[i].Deferred {
+				held[i].Deferred = true
+				break
+			}
+		}
+		return held
+	case ev == ReleaseEvent && !deferred:
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].Key == key && held[i].RLock == rlock {
+				return append(append([]HeldLock(nil), held[:i]...), held[i+1:]...)
+			}
+		}
+		return held
+	}
+	return held
+}
+
+// StmtExprs returns the expressions a statement evaluates directly,
+// excluding nested statements (the walker visits those on their own).
+// Analyzers scan these for calls and channel operations so each
+// expression is considered exactly once, with the held-lock state of the
+// statement that evaluates it.
+func StmtExprs(stmt ast.Stmt) []ast.Expr {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+	case *ast.ReturnStmt:
+		return s.Results
+	case *ast.IfStmt:
+		return []ast.Expr{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Expr{s.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Expr{s.Tag}
+		}
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	case *ast.GoStmt:
+		// The spawned call's arguments are evaluated here; the callee body
+		// runs elsewhere.
+		return append([]ast.Expr{}, s.Call.Args...)
+	case *ast.DeferStmt:
+		return append([]ast.Expr{}, s.Call.Args...)
+	}
+	return nil
+}
+
+func nonDeferred(held []HeldLock) []HeldLock {
+	var out []HeldLock
+	for _, h := range held {
+		if !h.Deferred {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func unionHeld(a, b []HeldLock) []HeldLock {
+	out := append([]HeldLock(nil), a...)
+	for _, h := range b {
+		found := false
+		for _, have := range out {
+			if have.Key == h.Key && have.RLock == h.RLock {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func caseBodies(block *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, clause := range block.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func commBodies(block *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, clause := range block.List {
+		if cc, ok := clause.(*ast.CommClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}

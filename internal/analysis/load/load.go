@@ -1,0 +1,303 @@
+// Package load type-checks packages for the tagdm-vet analyzers without
+// golang.org/x/tools/go/packages. It shells out to `go list -export -json
+// -deps`, which compiles dependencies and reports their gc export data
+// files; imports are then resolved through go/importer's gc reader while
+// the packages under analysis are parsed and type-checked from source.
+// This is the standalone counterpart of the `go vet -vettool` driver in
+// internal/analysis/unitchecker, used by the analysistest harness and the
+// suite's self-check over the repository.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"tagdm/internal/analysis"
+)
+
+// Package is one source-parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Markers is the view covering this package and its imports.
+	Markers *analysis.MarkerView
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -e -export -json -deps args...` in dir and decodes
+// the JSON stream (dependency order: imports before importers).
+func goList(dir string, args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,Imports,Module",
+		"-deps",
+	}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports through the gc export data files
+// reported by go list.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// parseDirFiles parses the named files (absolute or dir-relative).
+func parseDirFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkSource type-checks the parsed files as package path.
+func checkSource(fset *token.FileSet, path string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// ModuleRoot locates the enclosing go.mod directory, so tests can run the
+// loader from any package directory.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Patterns loads the module packages matched by patterns (e.g. "./...")
+// in dependency order, parsed from source with markers computed
+// transitively. root must be the module root directory.
+func Patterns(root string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	view := analysis.NewMarkerView()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		files, err := parseDirFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := checkSource(fset, lp.ImportPath, files, exports)
+		if err != nil {
+			return nil, err
+		}
+		view.Add(analysis.ComputeMarkers(fset, files, pkg, info, view))
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+			Markers:    view,
+		})
+	}
+	return out, nil
+}
+
+// Dir loads the .go files of one directory as a package claiming import
+// path asPath — the analysistest entry point. Testdata packages claim the
+// production import path they exercise so path-scoped analyzers behave
+// identically; they may import real module packages, whose markers are
+// computed from source so cross-package directives are visible.
+func Dir(dir, asPath string) (*Package, error) {
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseDirFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the testdata package's imports through go list.
+	importSet := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	view := analysis.NewMarkerView()
+	if len(importSet) > 0 {
+		args := make([]string, 0, len(importSet))
+		for path := range importSet {
+			args = append(args, path)
+		}
+		listed, err := goList(root, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+		// Compute markers of module dependencies from source, dep order.
+		for _, lp := range listed {
+			if lp.Standard || lp.Module == nil {
+				continue
+			}
+			depFiles, err := parseDirFiles(fset, lp.Dir, lp.GoFiles)
+			if err != nil {
+				return nil, err
+			}
+			depPkg, depInfo, err := checkSource(fset, lp.ImportPath, depFiles, exports)
+			if err != nil {
+				return nil, err
+			}
+			view.Add(analysis.ComputeMarkers(fset, depFiles, depPkg, depInfo, view))
+		}
+	}
+
+	pkg, info, err := checkSource(fset, asPath, files, exports)
+	if err != nil {
+		return nil, err
+	}
+	view.Add(analysis.ComputeMarkers(fset, files, pkg, info, view))
+	return &Package{
+		ImportPath: asPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+		Markers:    view,
+	}, nil
+}
+
+// Run executes the analyzers over pkg and returns the surviving
+// diagnostics: sorted, with nolint-suppressed findings and findings in
+// _test.go files removed.
+func Run(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Markers, report)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") || sup.Suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	analysis.SortDiagnostics(kept)
+	return kept, nil
+}

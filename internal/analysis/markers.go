@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Markers are the per-package facts the suite shares across packages: the
+// `//tagdm:` directives written on declarations, plus derived properties
+// (currently "blocking": the function's body performs a blocking
+// operation). They travel between packages as vetx fact files under
+// `go vet -vettool` and in memory under the standalone driver, so an
+// analyzer checking internal/server sees the `//tagdm:nonblocking`
+// annotation on wal.(*Log).Enqueue.
+//
+// Directive placement and object keys:
+//
+//	//tagdm:nonblocking        on a func/method decl   key "Recv.Name" or "Name"
+//	//tagdm:blocking           on a func or interface method
+//	//tagdm:label-sanitizer    on a func decl
+//	//tagdm:label-set          on a package-level var decl   key "Name"
+//	//tagdm:mutex nonblocking  on a struct mutex field       key "Type.Field"
+//
+// A directive is a comment line beginning exactly with "//tagdm:" (no
+// space), following the Go directive convention so gofmt leaves it alone
+// and godoc hides it.
+type Markers struct {
+	PkgPath string
+	// Objects maps an object key to its marker words. A directive
+	// "//tagdm:mutex nonblocking" yields the marker "mutex-nonblocking";
+	// single-word directives yield themselves.
+	Objects map[string][]string
+}
+
+// Has reports whether key carries marker.
+func (m *Markers) Has(key, marker string) bool {
+	if m == nil {
+		return false
+	}
+	for _, got := range m.Objects[key] {
+		if got == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Markers) add(key, marker string) {
+	if !m.Has(key, marker) {
+		m.Objects[key] = append(m.Objects[key], marker)
+	}
+}
+
+// Encode serializes the markers for a vetx fact file.
+func (m *Markers) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(m)
+	return buf.Bytes(), err
+}
+
+// DecodeMarkers reads a vetx fact file produced by Encode.
+func DecodeMarkers(data []byte) (*Markers, error) {
+	var m Markers
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// MarkerView exposes the markers of a package set: the package under
+// analysis plus its (transitive) imports.
+type MarkerView struct {
+	pkgs map[string]*Markers
+}
+
+// NewMarkerView builds a view; Add registers per-package markers.
+func NewMarkerView() *MarkerView { return &MarkerView{pkgs: map[string]*Markers{}} }
+
+// Add registers one package's markers, replacing any previous entry.
+func (v *MarkerView) Add(m *Markers) { v.pkgs[m.PkgPath] = m }
+
+// Pkg returns the markers of one package (nil when unknown).
+func (v *MarkerView) Pkg(path string) *Markers { return v.pkgs[path] }
+
+// FuncHas reports whether fn carries marker, consulting the directives of
+// fn's own package.
+func (v *MarkerView) FuncHas(fn *types.Func, marker string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return v.pkgs[fn.Pkg().Path()].Has(FuncKey(fn), marker)
+}
+
+// FieldHas reports whether the field named field on the (possibly
+// pointer-wrapped) named type recv carries marker.
+func (v *MarkerView) FieldHas(recv types.Type, field, marker string) bool {
+	named := namedOf(recv)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := named.Obj().Name() + "." + field
+	return v.pkgs[named.Obj().Pkg().Path()].Has(key, marker)
+}
+
+// VarHas reports whether the package-level variable carries marker.
+func (v *MarkerView) VarHas(obj types.Object, marker string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return v.pkgs[obj.Pkg().Path()].Has(obj.Name(), marker)
+}
+
+// FuncKey renders the marker key of a function or method: "Name" for a
+// package-level function, "Recv.Name" for a method (pointer receivers and
+// interface methods use the bare type name).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return fn.Name()
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// directiveMarkers extracts the markers of one comment group: every line
+// "//tagdm:word rest..." becomes "word-rest..." joined by dashes
+// ("//tagdm:mutex nonblocking" → "mutex-nonblocking"); nolint and
+// allow-discard lines are positional, not declarative, and are skipped.
+func directiveMarkers(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//tagdm:")
+		if !ok {
+			continue
+		}
+		words := strings.Fields(rest)
+		if len(words) == 0 || words[0] == "nolint" || words[0] == "allow-discard" || words[0] == "cancellable" {
+			continue
+		}
+		out = append(out, strings.Join(words, "-"))
+	}
+	return out
+}
+
+// stdlibBlocking lists standard-library operations the suite treats as
+// blocking (disk, network, scheduling). Keys are "pkgpath.FuncKey".
+var stdlibBlocking = map[string]bool{
+	"os.File.Write": true, "os.File.WriteString": true, "os.File.WriteAt": true,
+	"os.File.Read": true, "os.File.ReadAt": true, "os.File.ReadFrom": true,
+	"os.File.Sync": true, "os.File.Close": true, "os.File.Seek": true,
+	"os.File.Truncate": true,
+	"os.Open":          true, "os.OpenFile": true, "os.Create": true,
+	"os.Remove": true, "os.RemoveAll": true, "os.Rename": true,
+	"os.Mkdir": true, "os.MkdirAll": true, "os.ReadDir": true,
+	"os.ReadFile": true, "os.WriteFile": true, "os.Truncate": true,
+	"os.Stat": true, "os.Lstat": true,
+	"io.Copy": true, "io.CopyN": true, "io.CopyBuffer": true,
+	"io.ReadAll": true, "io.ReadFull": true, "io.WriteString": true,
+	"bufio.Writer.Flush": true, "bufio.Writer.Write": true,
+	"bufio.Writer.WriteString": true, "bufio.Writer.ReadFrom": true,
+	"bufio.Reader.Read":             true,
+	"net/http.ResponseWriter.Write": true, "net/http.ResponseWriter.WriteHeader": true,
+	"time.Sleep":          true,
+	"sync.WaitGroup.Wait": true, "sync.Cond.Wait": true,
+}
+
+// ComputeMarkers scans one type-checked package: directive markers from
+// declaration comments, then the derived "blocking" marker — a function
+// blocks if its body (function literals excluded: goroutines and deferred
+// closures run on their own schedule) contains a channel operation outside
+// a select with a default case, a select without a default case, or a call
+// to a function already classified as blocking (stdlib table, imported
+// markers via view, or same-package fixpoint). An explicit
+// //tagdm:nonblocking directive overrides derivation — that is the
+// documented contract of APIs like wal.(*Log).Enqueue, whose buffered
+// fast-path send would otherwise classify it as blocking.
+func ComputeMarkers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, view *MarkerView) *Markers {
+	m := &Markers{PkgPath: pkg.Path(), Objects: map[string][]string{}}
+
+	// Pass 1: directives.
+	type fnDecl struct {
+		key  string
+		body *ast.BlockStmt
+	}
+	var fns []fnDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				var key string
+				if obj, ok := info.Defs[d.Name].(*types.Func); ok {
+					key = FuncKey(obj)
+				} else {
+					key = d.Name.Name
+				}
+				for _, marker := range directiveMarkers(d.Doc) {
+					m.add(key, marker)
+				}
+				fns = append(fns, fnDecl{key: key, body: d.Body})
+			case *ast.GenDecl:
+				collectGenDeclMarkers(d, m)
+			}
+		}
+	}
+
+	// Pass 2: derived blocking classification, iterated to a fixpoint so
+	// same-package call chains propagate.
+	classify := func(call *ast.CallExpr) bool {
+		return CallBlocks(info, call, m, view)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if fn.body == nil || m.Has(fn.key, "blocking") || m.Has(fn.key, "nonblocking") {
+				continue
+			}
+			if bodyBlocks(fn.body, classify) {
+				m.add(fn.key, "blocking")
+				changed = true
+			}
+		}
+	}
+	return m
+}
+
+// collectGenDeclMarkers reads directives on vars, struct fields and
+// interface methods of one declaration group.
+func collectGenDeclMarkers(d *ast.GenDecl, m *Markers) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			markers := append(directiveMarkers(d.Doc), directiveMarkers(s.Doc)...)
+			for _, name := range s.Names {
+				for _, marker := range markers {
+					m.add(name.Name, marker)
+				}
+			}
+		case *ast.TypeSpec:
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				for _, field := range t.Fields.List {
+					for _, marker := range directiveMarkers(field.Doc) {
+						for _, name := range field.Names {
+							m.add(s.Name.Name+"."+name.Name, marker)
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				for _, method := range t.Methods.List {
+					for _, marker := range directiveMarkers(method.Doc) {
+						for _, name := range method.Names {
+							m.add(s.Name.Name+"."+name.Name, marker)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// CallBlocks classifies one call expression as blocking, consulting the
+// current package's markers (local, may still be mid-fixpoint), the
+// cross-package view, and the stdlib table. Unknown callees (function
+// values, unresolved) are treated as non-blocking — the suite prefers
+// false negatives over noise, and the tracked-lock regions are small.
+func CallBlocks(info *types.Info, call *ast.CallExpr, local *Markers, view *MarkerView) bool {
+	fn := funcFor(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	key := FuncKey(fn)
+	if fn.Pkg().Path() == local.PkgPath {
+		if local.Has(key, "nonblocking") {
+			return false
+		}
+		return local.Has(key, "blocking")
+	}
+	if view.FuncHas(fn, "nonblocking") {
+		return false
+	}
+	if view.FuncHas(fn, "blocking") || view.FuncHas(fn, "blocking-derived") {
+		return true
+	}
+	return stdlibBlocking[fn.Pkg().Path()+"."+key]
+}
+
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// bodyBlocks reports whether a statement block contains a blocking
+// operation, with callBlocks classifying calls. Function literals are not
+// descended into; select statements with a default case shield the channel
+// operations of their comm clauses.
+func bodyBlocks(body ast.Node, callBlocks func(*ast.CallExpr) bool) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false // the goroutine blocks, not the caller
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				found = true
+				return false
+			}
+			// Walk only clause bodies: the comm clauses themselves are
+			// non-blocking under a default case.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if callBlocks(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}

@@ -1,0 +1,114 @@
+// Package atomicfield catches torn atomicity: a struct field (or package
+// variable) that is accessed through the old-style sync/atomic functions
+// anywhere in the package must be accessed that way everywhere. One plain
+// read or write racing the atomic ones is a data race the race detector
+// only reports when a test happens to hit the interleaving; the analyzer
+// makes it a compile-time finding.
+//
+// The new typed atomics (atomic.Int64, atomic.Pointer[T], ...) enforce
+// this by construction and need no checking — this analyzer exists for
+// the counter-behind-&field pattern. Fields are almost always unexported,
+// so per-package analysis sees every access. Suppress with
+// `//tagdm:nolint atomicfield -- <reason>`.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tagdm/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly elsewhere",
+	Run:  run,
+}
+
+// atomicFns are the sync/atomic functions whose first argument is the
+// address of the word being operated on.
+func isAtomicAddrFn(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// Walk 1: find objects whose address feeds sync/atomic calls, and
+	// remember those sanctioned selector nodes.
+	atomicObjs := map[types.Object]ast.Node{}
+	sanctioned := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.FuncFor(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicAddrFn(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(unary.X)
+				if obj := pass.TargetObj(target); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = call
+					}
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Walk 2: every other access to those objects is a plain access.
+	var walk2 func(n ast.Node) bool
+	walk2 = func(n ast.Node) bool {
+		if kv, ok := n.(*ast.KeyValueExpr); ok {
+			// Composite literal keys name the field without accessing it;
+			// check only the value side.
+			ast.Inspect(kv.Value, walk2)
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if sanctioned[expr] {
+			return false
+		}
+		switch expr.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		obj := pass.TargetObj(expr)
+		if obj == nil {
+			return true
+		}
+		if at, ok := atomicObjs[obj]; ok {
+			pass.Reportf(expr.Pos(),
+				"plain access to %s, which is accessed with sync/atomic at %s: this races the atomic operations",
+				obj.Name(), pass.Fset.Position(at.Pos()))
+			return false
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, walk2)
+	}
+	return nil
+}

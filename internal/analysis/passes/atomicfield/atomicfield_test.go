@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata/server", "tagdm/internal/server", atomicfield.Analyzer)
+}

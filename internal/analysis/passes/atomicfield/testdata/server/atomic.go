@@ -1,0 +1,62 @@
+// Package server is atomicfield testdata: old-style atomic counters mixed
+// with plain accesses, new-style typed atomics, and a fully consistent
+// counter.
+package server
+
+import "sync/atomic"
+
+type stats struct {
+	appends int64
+	syncs   int64
+	rotates int64
+	// epoch is a new-style typed atomic: consistent by construction.
+	epoch atomic.Int64
+}
+
+func (s *stats) recordAppend() {
+	atomic.AddInt64(&s.appends, 1)
+}
+
+func (s *stats) snapshotAppends() int64 {
+	return atomic.LoadInt64(&s.appends)
+}
+
+// reset races recordAppend: the write is plain.
+func (s *stats) reset() {
+	s.appends = 0 // want `plain access to appends`
+}
+
+func (s *stats) recordSync() {
+	atomic.AddInt64(&s.syncs, 1)
+}
+
+// report races recordSync: the read is plain.
+func (s *stats) report() int64 {
+	return s.syncs // want `plain access to syncs`
+}
+
+// rotates is only ever touched plainly: no atomic access, no findings.
+func (s *stats) recordRotate() {
+	s.rotates++
+}
+
+func (s *stats) rotateCount() int64 {
+	return s.rotates
+}
+
+// epoch uses the typed atomic API throughout: nothing to report.
+func (s *stats) bumpEpoch() {
+	s.epoch.Add(1)
+}
+
+// suppressed shows the escape hatch: a plain read in a single-goroutine
+// constructor phase.
+func newStats(seed int64) *stats {
+	s := &stats{}
+	atomic.StoreInt64(&s.appends, seed)
+	//tagdm:nolint atomicfield -- constructor runs before the stats escape
+	if s.appends != seed {
+		panic("unreachable")
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+// Package ctxflow enforces context discipline in the request path
+// (tagdm/internal/core and tagdm/internal/server): every solver and
+// handler must operate under the caller's context so cancellation and
+// deadlines propagate end to end.
+//
+// It reports:
+//
+//   - any call to context.Background() or context.TODO() — these packages
+//     sit below the public facade, which is the only place a fresh root
+//     context may be minted (main packages and tests are out of scope);
+//   - a nil argument passed where the callee expects a context.Context;
+//   - a loop tagged `//tagdm:cancellable` whose body contains no
+//     ctx.Err()/ctx.Done() check — the tag documents that a loop is a
+//     cancellation point, and this check keeps the documentation true.
+//
+// Suppress a finding with `//tagdm:nolint ctxflow -- <reason>` when a
+// detached context is genuinely required (e.g. a background goroutine
+// that must outlive the request).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagdm/internal/analysis"
+)
+
+// ScopePaths lists the import paths the analyzer applies to.
+var ScopePaths = []string{"tagdm/internal/core", "tagdm/internal/server"}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce context propagation in core and server: no context.Background/TODO below the facade, no nil contexts, and tagged cancellable loops must poll ctx",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PathIs(ScopePaths...) {
+		return nil
+	}
+	cancellable := analysis.DirectiveLines(pass.Fset, pass.Files, "cancellable")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.ForStmt:
+				if _, ok := cancellable[pass.LineKey(n.Pos())]; ok {
+					checkCancellable(pass, n, n.Body)
+				}
+			case *ast.RangeStmt:
+				if _, ok := cancellable[pass.LineKey(n.Pos())]; ok {
+					checkCancellable(pass, n, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags fresh root contexts and nil contexts at call sites.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.FuncFor(call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(),
+			"context.%s below the facade: thread the caller's ctx instead", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		pi := min(i, sig.Params().Len()-1)
+		if pi < 0 || !isContextType(sig.Params().At(pi).Type()) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			pass.Reportf(arg.Pos(), "nil context passed to %s: pass the caller's ctx", fn.Name())
+		}
+	}
+}
+
+// checkCancellable verifies a tagged loop body polls its context.
+func checkCancellable(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		pass.Reportf(loop.Pos(),
+			"loop tagged tagdm:cancellable has no ctx.Err()/ctx.Done() check in its body")
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

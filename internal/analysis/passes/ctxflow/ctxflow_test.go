@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflowScoped(t *testing.T) {
+	analysistest.Run(t, "testdata/core", "tagdm/internal/core", ctxflow.Analyzer)
+}
+
+func TestCtxflowIgnoresUnscopedPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/experiments", "tagdm/internal/experiments", ctxflow.Analyzer)
+}

@@ -1,0 +1,77 @@
+// Package core is ctxflow testdata loaded under the scoped import path
+// tagdm/internal/core.
+package core
+
+import "context"
+
+func solve(ctx context.Context, n int) error {
+	return step(ctx, n)
+}
+
+func step(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func freshRoot() error {
+	ctx := context.Background() // want `context\.Background below the facade`
+	return step(ctx, 1)
+}
+
+func todoRoot() error {
+	return step(context.TODO(), 1) // want `context\.TODO below the facade`
+}
+
+func nilCtx() error {
+	return step(nil, 1) // want `nil context passed to step`
+}
+
+func allowedDetached() error {
+	//tagdm:nolint ctxflow -- detached maintenance context is deliberate here
+	ctx := context.Background()
+	return step(ctx, 1)
+}
+
+func cancellableOK(ctx context.Context, groups []int) int {
+	total := 0
+	//tagdm:cancellable
+	for _, g := range groups {
+		if ctx.Err() != nil {
+			break
+		}
+		total += g
+	}
+	return total
+}
+
+func cancellableDone(ctx context.Context, work chan int) int {
+	total := 0
+	//tagdm:cancellable
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}
+
+func cancellableMissing(ctx context.Context, groups []int) int {
+	_ = ctx
+	total := 0
+	//tagdm:cancellable
+	for _, g := range groups { // want `loop tagged tagdm:cancellable has no ctx\.Err\(\)/ctx\.Done\(\) check`
+		total += g
+	}
+	return total
+}
+
+func untaggedLoop(groups []int) int {
+	total := 0
+	for _, g := range groups {
+		total += g
+	}
+	return total
+}

@@ -1,0 +1,10 @@
+// Package experiments is ctxflow testdata loaded under an out-of-scope
+// import path: the offline experiment harness may mint root contexts, so
+// nothing here is flagged.
+package experiments
+
+import "context"
+
+func runFigure() context.Context {
+	return context.Background()
+}

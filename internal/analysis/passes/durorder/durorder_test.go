@@ -1,0 +1,12 @@
+package durorder_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/durorder"
+)
+
+func TestDurorder(t *testing.T) {
+	analysistest.Run(t, "testdata/server", "tagdm/internal/server", durorder.Analyzer)
+}

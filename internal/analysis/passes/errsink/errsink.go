@@ -1,0 +1,132 @@
+// Package errsink is the errcheck-style sweep scoped to durability code:
+// the write-ahead log, the server's checkpoint/recovery path, the facade
+// persistence helpers and the cmd binaries. In those packages a discarded
+// error from Close/Sync/Flush/Remove/Rename/Truncate — or a blank-assigned
+// error from any module function — is either a durability bug (a lost
+// fsync failure) or a deliberate best-effort step that must say so.
+//
+// Deliberate discards are annotated in place:
+//
+//	//tagdm:allow-discard <reason>
+//
+// on the offending line or alone on the line above. The reason is
+// mandatory: an unexplained discard is indistinguishable from a bug at
+// review time, which is what this analyzer exists to prevent.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tagdm/internal/analysis"
+)
+
+// ScopePaths lists the exact import paths swept; cmd binaries are matched
+// by prefix in scoped.
+var ScopePaths = []string{"tagdm", "tagdm/internal/wal", "tagdm/internal/server"}
+
+// Analyzer is the errsink check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "durability code must not silently discard Close/Sync/Flush/Remove errors; deliberate discards carry //tagdm:allow-discard <reason>",
+	Run:  run,
+}
+
+// sinkNames are the error-returning cleanup/durability calls the sweep
+// watches when their result is dropped entirely (expression statements and
+// defers).
+var sinkNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+}
+
+func scoped(pass *analysis.Pass) bool {
+	return pass.PathIs(ScopePaths...) || strings.HasPrefix(pass.Pkg.Path(), "tagdm/cmd/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped(pass) {
+		return nil
+	}
+	allowed := analysis.DirectiveLines(pass.Fset, pass.Files, "allow-discard")
+	report := func(pos ast.Node, format string, args ...any) {
+		if reason, ok := allowed[pass.LineKey(pos.Pos())]; ok {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(pos.Pos(), "tagdm:allow-discard needs a reason: say why this discard is safe")
+			}
+			return
+		}
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDropped(pass, report, n.X, "")
+			case *ast.DeferStmt:
+				checkDropped(pass, report, n.Call, "deferred ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, report, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDropped flags a statement-level sink call whose error vanishes.
+func checkDropped(pass *analysis.Pass, report func(ast.Node, string, ...any), expr ast.Expr, prefix string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := pass.FuncFor(call)
+	if fn == nil || !sinkNames[fn.Name()] || !returnsError(fn) {
+		return
+	}
+	report(call, "%serror from %s is discarded: handle it or annotate with //tagdm:allow-discard <reason>",
+		prefix, fn.Name())
+}
+
+// checkBlankAssign flags `_ = f()` where f returns an error and is either
+// a sink call or module code (whose errors encode durability outcomes).
+func checkBlankAssign(pass *analysis.Pass, report func(ast.Node, string, ...any), assign *ast.AssignStmt) {
+	for _, lhs := range assign.Lhs {
+		ident, ok := lhs.(*ast.Ident)
+		if !ok || ident.Name != "_" {
+			return
+		}
+	}
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := pass.FuncFor(call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	inModule := fn.Pkg() != nil && (fn.Pkg().Path() == "tagdm" || strings.HasPrefix(fn.Pkg().Path(), "tagdm/"))
+	if !sinkNames[fn.Name()] && !inModule {
+		return
+	}
+	report(assign, "error from %s is blank-discarded: handle it or annotate with //tagdm:allow-discard <reason>",
+		fn.Name())
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		named, ok := sig.Results().At(i).Type().(*types.Named)
+		if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "testdata/wal", "tagdm/internal/wal", errsink.Analyzer)
+}

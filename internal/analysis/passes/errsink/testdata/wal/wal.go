@@ -1,0 +1,69 @@
+// Package wal is errsink testdata loaded under the scoped import path
+// tagdm/internal/wal.
+package wal
+
+import "os"
+
+func handled(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func droppedSync(f *os.File) {
+	f.Sync() // want `error from Sync is discarded`
+}
+
+func droppedDeferClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // want `deferred error from Close is discarded`
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+func annotatedDeferClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//tagdm:allow-discard read-only handle, nothing buffered to lose
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+func blankRemove(path string) {
+	_ = os.Remove(path) // want `error from Remove is blank-discarded`
+}
+
+func blankModuleCall() {
+	_ = checkpoint() // want `error from checkpoint is blank-discarded`
+}
+
+func annotatedBlankModuleCall() {
+	//tagdm:allow-discard best effort; replay skips covered segments anyway
+	_ = checkpoint()
+}
+
+func reasonlessAnnotation(path string) {
+	//tagdm:allow-discard
+	_ = os.Remove(path) // want `tagdm:allow-discard needs a reason`
+}
+
+func checkpoint() error { return nil }
+
+// nonSinkDiscards stay out of scope: stdlib calls that do not guard
+// durability are not the sweep's business.
+func nonSinkDiscards(ch chan int) {
+	println("ok")
+}

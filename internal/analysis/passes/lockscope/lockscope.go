@@ -1,0 +1,114 @@
+// Package lockscope polices the critical sections of mutexes annotated
+// `//tagdm:mutex nonblocking` — locks whose documented contract is that
+// they are never held across a blocking operation (wal.Log.mu, the
+// server's write lock). The Rotate/Enqueue race fixed in PR 7 was exactly
+// this class of bug: disk I/O slipped under a queue-state lock and write
+// order diverged from apply order under contention.
+//
+// For every function the analyzer tracks which annotated mutexes are held
+// at each statement and reports:
+//
+//   - a blocking operation (classified by the shared marker machinery:
+//     channel send/receive, select without default, calls to functions
+//     that block — fsync/file I/O, http writes, Ticket.Wait, and anything
+//     transitively derived as blocking) while an annotated lock is held;
+//   - a return reached while an annotated lock is still held and its
+//     unlock was not deferred — the missing-unlock-on-early-return bug.
+//
+// The traversal is syntactic: if/else joins take the union of held locks,
+// loops are assumed lock-balanced, and function literals are not entered.
+// Suppress with `//tagdm:nolint lockscope -- <reason>`.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tagdm/internal/analysis"
+)
+
+// Analyzer is the lockscope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking operation under a //tagdm:mutex nonblocking lock, and no early return that skips its unlock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	local := pass.Markers.Pkg(pass.Pkg.Path())
+	tracked := func(recv types.Type, field, key string) bool {
+		return recv != nil && pass.Markers.FieldHas(recv, field, "mutex-nonblocking")
+	}
+	callBlocks := func(call *ast.CallExpr) bool {
+		return analysis.CallBlocks(pass.TypesInfo, call, local, pass.Markers)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			walker := &analysis.LockWalker{
+				Info:    pass.TypesInfo,
+				Tracked: tracked,
+				Visit: func(stmt ast.Stmt, held []analysis.HeldLock) {
+					if len(held) == 0 {
+						return
+					}
+					checkStmt(pass, stmt, held, callBlocks)
+				},
+				VisitReturn: func(ret *ast.ReturnStmt, held []analysis.HeldLock) {
+					for _, h := range held {
+						pass.Reportf(ret.Pos(),
+							"return while %s is held: unlock before returning or defer the unlock", h.Key)
+					}
+				},
+			}
+			walker.WalkFunc(fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkStmt scans one statement's directly evaluated expressions for
+// blocking operations, reporting each against the innermost held lock.
+func checkStmt(pass *analysis.Pass, stmt ast.Stmt, held []analysis.HeldLock, callBlocks func(*ast.CallExpr) bool) {
+	lock := held[len(held)-1].Key
+	switch s := stmt.(type) {
+	case *ast.SendStmt:
+		pass.Reportf(s.Arrow, "channel send while %s is held", lock)
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			pass.Reportf(s.Pos(), "blocking select while %s is held", lock)
+		}
+		return
+	}
+	for _, expr := range analysis.StmtExprs(stmt) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while %s is held", lock)
+					return false
+				}
+			case *ast.CallExpr:
+				if callBlocks(n) {
+					fn := pass.FuncFor(n)
+					pass.Reportf(n.Pos(), "blocking call to %s while %s is held", fn.Name(), lock)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

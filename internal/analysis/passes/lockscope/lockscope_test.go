@@ -1,0 +1,16 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/lockscope"
+)
+
+func TestLockscopeAnnotatedMutex(t *testing.T) {
+	analysistest.Run(t, "testdata/wal", "tagdm/internal/wal", lockscope.Analyzer)
+}
+
+func TestLockscopeIgnoresUnannotatedMutex(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", "tagdm/internal/store", lockscope.Analyzer)
+}

@@ -1,0 +1,22 @@
+// Package clean is lockscope negative testdata: unannotated mutexes are
+// not tracked, so blocking under them is not reported.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	file *os.File
+}
+
+func (s *store) persist(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.file.Write(data); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}

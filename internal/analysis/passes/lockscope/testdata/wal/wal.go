@@ -1,0 +1,95 @@
+// Package wal is lockscope testdata: a miniature of the real log with an
+// annotated queue lock and a deliberately blocking write lock.
+package wal
+
+import (
+	"os"
+	"sync"
+)
+
+type log struct {
+	//tagdm:mutex nonblocking
+	mu      sync.Mutex
+	pending [][]byte
+
+	// wmu deliberately serializes disk writes; it carries no annotation,
+	// so blocking under it is fine.
+	wmu  sync.Mutex
+	file *os.File
+	kick chan struct{}
+}
+
+// enqueue is the contract-respecting shape: queue under mu, kick without
+// blocking, do the I/O elsewhere.
+func (l *log) enqueue(payload []byte) {
+	l.mu.Lock()
+	l.pending = append(l.pending, payload)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flush blocks under wmu only: allowed.
+func (l *log) flush(data []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if _, err := l.file.Write(data); err != nil {
+		return err
+	}
+	return l.file.Sync()
+}
+
+// rotateRace is the PR 7 bug shape: fsync while the queue lock is held.
+func (l *log) rotateRace() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.file.Sync() // want `blocking call to Sync while l\.mu is held`
+}
+
+// sendUnderLock blocks on an unbuffered kick while holding mu.
+func (l *log) sendUnderLock() {
+	l.mu.Lock()
+	l.kick <- struct{}{} // want `channel send while l\.mu is held`
+	l.mu.Unlock()
+}
+
+// recvUnderLock parks on a channel receive while holding mu.
+func (l *log) recvUnderLock() {
+	l.mu.Lock()
+	<-l.kick // want `channel receive while l\.mu is held`
+	l.mu.Unlock()
+}
+
+// earlyReturnLeak forgets the unlock on the error path.
+func (l *log) earlyReturnLeak(fail bool) error {
+	l.mu.Lock()
+	if fail {
+		return errFailed // want `return while l\.mu is held`
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// transitiveBlock calls a helper that blocks, while holding mu: the
+// derived blocking classification must propagate through doSync.
+func (l *log) transitiveBlock() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.doSync() // want `blocking call to doSync while l\.mu is held`
+}
+
+func (l *log) doSync() error {
+	return l.file.Sync()
+}
+
+// suppressed demonstrates the escape hatch for a justified exception.
+func (l *log) suppressed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//tagdm:nolint lockscope -- bounded file, sync latency acceptable at close
+	return l.file.Sync()
+}
+
+var errFailed = os.ErrInvalid

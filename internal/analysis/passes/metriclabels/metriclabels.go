@@ -1,0 +1,241 @@
+// Package metriclabels keeps the Prometheus exposition's cardinality
+// bounded: every label value handed to an obs.Registry vector
+// (CounterVec/GaugeVec/HistogramVec `.With(...)`) must be provably drawn
+// from a bounded, boot-stable set. Request-derived strings in labels are
+// how scrape cardinality explodes in production, and the repo's metrics
+// layer was designed around pre-registered label sets precisely to
+// prevent that.
+//
+// An argument is label-safe when it is:
+//
+//   - a compile-time string constant (literal or const);
+//   - a call to a function annotated `//tagdm:label-sanitizer` — a pure
+//     bucketing function that returns only constants (familyOf,
+//     endpointLabel);
+//   - the range variable of a loop over a package-level var annotated
+//     `//tagdm:label-set` (or an index into one, as with familyStages);
+//   - a local variable every assignment of which is itself label-safe.
+//
+// Everything else — struct fields, parameters, map lookups, arbitrary
+// expressions — is reported. The obs package itself is exempt (its
+// internals shuttle label values generically). Suppress with
+// `//tagdm:nolint metriclabels -- <reason>`.
+package metriclabels
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagdm/internal/analysis"
+)
+
+// Analyzer is the metriclabels check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabels",
+	Doc:  "obs vector label values must be constants, label-set elements, or sanitizer results so scrape cardinality stays bounded",
+	Run:  run,
+}
+
+const obsPath = "tagdm/internal/obs"
+
+var vecTypes = map[string]bool{"CounterVec": true, "GaugeVec": true, "HistogramVec": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.PathIs(obsPath) {
+		return nil
+	}
+	safety := collectSafety(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isVecWith(pass, call) {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				pass.Reportf(call.Ellipsis,
+					"metric label slice spread into With: label values must be individually provable")
+				return true
+			}
+			for _, arg := range call.Args {
+				if !safety.safeExpr(arg) {
+					pass.Reportf(arg.Pos(),
+						"metric label %q is not a constant, label-set element, or label-sanitizer result: unbounded values explode scrape cardinality",
+						types.ExprString(arg))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isVecWith matches method calls With(...) on the obs vector types.
+func isVecWith(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == obsPath && vecTypes[named.Obj().Name()]
+}
+
+// safety is the per-package label-safety lattice over local variables.
+type safety struct {
+	pass *analysis.Pass
+	// rangeSafe holds variables bound by ranging over a label-set var.
+	rangeSafe map[types.Object]bool
+	// unsafe holds variables bound by ranging over anything else.
+	unsafe map[types.Object]bool
+	// assigns maps a variable to every expression assigned to it.
+	assigns map[types.Object][]ast.Expr
+	// proven caches the assignment fixpoint.
+	proven map[types.Object]bool
+}
+
+func collectSafety(pass *analysis.Pass) *safety {
+	s := &safety{
+		pass:      pass,
+		rangeSafe: map[types.Object]bool{},
+		unsafe:    map[types.Object]bool{},
+		assigns:   map[types.Object][]ast.Expr{},
+		proven:    map[types.Object]bool{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				s.recordRange(n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if ident, ok := lhs.(*ast.Ident); ok && ident.Name != "_" {
+							if obj := s.objOf(ident); obj != nil {
+								s.assigns[obj] = append(s.assigns[obj], n.Rhs[i])
+							}
+						}
+					}
+				} else {
+					// Tuple assignment: values are unprovable here.
+					for _, lhs := range n.Lhs {
+						if ident, ok := lhs.(*ast.Ident); ok && ident.Name != "_" {
+							if obj := s.objOf(ident); obj != nil {
+								s.unsafe[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, name := range n.Names {
+						if obj := s.objOf(name); obj != nil {
+							s.assigns[obj] = append(s.assigns[obj], n.Values[i])
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Fixpoint: a variable is proven safe once every assignment to it is
+	// safe (safety of an assignment may depend on other proven vars).
+	for changed := true; changed; {
+		changed = false
+		for obj, rhss := range s.assigns {
+			if s.proven[obj] || s.unsafe[obj] {
+				continue
+			}
+			all := true
+			for _, rhs := range rhss {
+				if !s.safeExpr(rhs) {
+					all = false
+					break
+				}
+			}
+			if all {
+				s.proven[obj] = true
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+func (s *safety) objOf(ident *ast.Ident) types.Object {
+	if obj := s.pass.TypesInfo.Defs[ident]; obj != nil {
+		return obj
+	}
+	return s.pass.TypesInfo.Uses[ident]
+}
+
+// recordRange classifies the key/value variables of a range statement.
+func (s *safety) recordRange(n *ast.RangeStmt) {
+	overLabelSet := s.isLabelSetExpr(n.X)
+	for _, e := range []ast.Expr{n.Key, n.Value} {
+		ident, ok := e.(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			continue
+		}
+		obj := s.objOf(ident)
+		if obj == nil {
+			continue
+		}
+		if overLabelSet {
+			s.rangeSafe[obj] = true
+		} else {
+			s.unsafe[obj] = true
+		}
+	}
+}
+
+// isLabelSetExpr reports whether e denotes a var annotated
+// //tagdm:label-set, possibly through an index (familyStages[fam]).
+func (s *safety) isLabelSetExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.pass.TypesInfo.Uses[e]
+		return s.pass.Markers.VarHas(obj, "label-set")
+	case *ast.SelectorExpr:
+		obj := s.pass.TypesInfo.Uses[e.Sel]
+		return s.pass.Markers.VarHas(obj, "label-set")
+	case *ast.IndexExpr:
+		return s.isLabelSetExpr(e.X)
+	}
+	return false
+}
+
+// safeExpr is the label-safety judgment for one expression.
+func (s *safety) safeExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if s.pass.IsConstString(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := s.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if s.unsafe[obj] {
+			return false
+		}
+		return s.rangeSafe[obj] || s.proven[obj]
+	case *ast.CallExpr:
+		fn := s.pass.FuncFor(e)
+		return fn != nil && s.pass.Markers.FuncHas(fn, "label-sanitizer")
+	}
+	return false
+}

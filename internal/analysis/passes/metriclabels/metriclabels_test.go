@@ -1,0 +1,12 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/analysistest"
+	"tagdm/internal/analysis/passes/metriclabels"
+)
+
+func TestMetricLabels(t *testing.T) {
+	analysistest.Run(t, "testdata/server", "tagdm/internal/server", metriclabels.Analyzer)
+}

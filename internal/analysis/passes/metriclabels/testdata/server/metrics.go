@@ -1,0 +1,62 @@
+// Package server is metriclabels testdata loaded under the import path
+// tagdm/internal/server, importing the real obs package so vector types
+// resolve exactly as on the tree.
+package server
+
+import "tagdm/internal/obs"
+
+const famExact = "exact"
+
+//tagdm:label-set
+var families = []string{famExact, "smlsh", "dvfdp"}
+
+//tagdm:label-set
+var familyStages = map[string][]string{famExact: {"matrix", "enumerate"}}
+
+// familyOf buckets an arbitrary algorithm name into a bounded label.
+//
+//tagdm:label-sanitizer
+func familyOf(algorithm string) string {
+	if algorithm == "Exact" {
+		return famExact
+	}
+	return "other"
+}
+
+type stage struct{ Name string }
+
+func record(reg *obs.Registry, algorithm string, stages []stage) {
+	solves := reg.CounterVec("solves_total", "solves", "family")
+	depth := reg.HistogramVec("stage_seconds", "stage wall", nil, "family", "stage")
+
+	solves.With(famExact).Inc()
+	solves.With("smlsh").Inc()
+	solves.With(familyOf(algorithm)).Inc()
+
+	fam := familyOf(algorithm)
+	solves.With(fam).Inc()
+
+	for _, f := range families {
+		solves.With(f).Inc()
+		for _, st := range familyStages[f] {
+			depth.With(f, st).Observe(1)
+		}
+	}
+
+	solves.With(algorithm).Inc() // want `metric label "algorithm" is not a constant`
+
+	for _, st := range stages {
+		depth.With(fam, st.Name).Observe(1) // want `metric label "st\.Name" is not a constant`
+	}
+
+	for _, raw := range []string{algorithm} {
+		solves.With(raw).Inc() // want `metric label "raw" is not a constant`
+	}
+
+	reassigned := famExact
+	reassigned = algorithm
+	solves.With(reassigned).Inc() // want `metric label "reassigned" is not a constant`
+
+	//tagdm:nolint metriclabels -- bench harness, bounded by flag validation
+	solves.With(algorithm).Inc()
+}

@@ -1,0 +1,47 @@
+// Package suite assembles the tagdm-vet analyzers and provides the
+// standalone driver used by cmd/tagdm-vet's direct mode and by the
+// self-check test that keeps `go test ./...` red whenever the tree
+// violates one of its own invariants.
+package suite
+
+import (
+	"tagdm/internal/analysis"
+	"tagdm/internal/analysis/load"
+	"tagdm/internal/analysis/passes/atomicfield"
+	"tagdm/internal/analysis/passes/ctxflow"
+	"tagdm/internal/analysis/passes/durorder"
+	"tagdm/internal/analysis/passes/errsink"
+	"tagdm/internal/analysis/passes/lockscope"
+	"tagdm/internal/analysis/passes/metriclabels"
+)
+
+// Analyzers returns the full tagdm-vet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		ctxflow.Analyzer,
+		durorder.Analyzer,
+		errsink.Analyzer,
+		lockscope.Analyzer,
+		metriclabels.Analyzer,
+	}
+}
+
+// RunPatterns loads the module packages matched by patterns from the
+// module rooted at root and returns every surviving diagnostic.
+func RunPatterns(root string, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Patterns(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := load.Run(pkg, Analyzers())
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	analysis.SortDiagnostics(all)
+	return all, nil
+}

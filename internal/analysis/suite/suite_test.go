@@ -1,0 +1,33 @@
+package suite_test
+
+import (
+	"testing"
+
+	"tagdm/internal/analysis/load"
+	"tagdm/internal/analysis/suite"
+)
+
+// TestSuiteCleanOverRepository is the self-check: `go test ./...` goes red
+// the moment any package in the module violates one of the suite's
+// invariants. New violations are either real bugs (fix them) or deliberate
+// exceptions (annotate them with the relevant //tagdm: directive and a
+// reason) — never silent.
+func TestSuiteCleanOverRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := load.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := suite.RunPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("the tree violates its own invariants; fix the finding or annotate it (//tagdm:nolint <analyzer> -- reason) with justification")
+	}
+}

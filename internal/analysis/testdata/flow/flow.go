@@ -1,0 +1,74 @@
+// Package flow is LockWalker testdata: each function exercises one shape
+// of lock handling the walker must track.
+package flow
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *S) linear() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.n--
+}
+
+func (s *S) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *S) earlyReturn(b bool) int {
+	s.rw.RLock()
+	if b {
+		s.rw.RUnlock()
+		return 0
+	}
+	s.rw.RUnlock()
+	return s.n
+}
+
+func (s *S) leakyReturn(b bool) int {
+	s.mu.Lock()
+	if b {
+		return s.n // lock still held here
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *S) branchMerge(b bool) {
+	if b {
+		s.mu.Lock()
+	} else {
+		s.n++
+	}
+	s.n++ // mu held on the then-branch: union says held
+	if b {
+		s.mu.Unlock()
+	}
+}
+
+func (s *S) loopsAndSwitch(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		s.mu.Lock()
+		s.n += xs[i]
+		s.mu.Unlock()
+	}
+	for range xs {
+		s.n++
+	}
+	switch s.n {
+	case 0:
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	default:
+	}
+	select {}
+}

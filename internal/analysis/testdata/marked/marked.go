@@ -1,0 +1,50 @@
+// Package marked is ComputeMarkers testdata: declarative directives plus
+// call chains the derived-blocking fixpoint must classify.
+package marked
+
+import "sync"
+
+// Declared carries an explicit marker with no blocking body.
+//
+//tagdm:blocking
+func Declared() {}
+
+// Overridden would derive blocking from its channel send, but the explicit
+// directive wins — the documented contract of APIs with a buffered
+// fast path.
+//
+//tagdm:nonblocking
+func Overridden(ch chan int) { ch <- 1 }
+
+// Derives blocks via a channel receive.
+func Derives(ch chan int) int { return <-ch }
+
+// Transitively blocks by calling Derives — the same-package fixpoint.
+func Transitively(ch chan int) int { return Derives(ch) }
+
+// ViaStdlib blocks through the stdlib table.
+func ViaStdlib(wg *sync.WaitGroup) { wg.Wait() }
+
+// Pure stays unclassified.
+func Pure(a, b int) int { return a + b }
+
+// T carries a field directive.
+type T struct {
+	//tagdm:mutex nonblocking
+	Mu sync.Mutex
+	N  int
+}
+
+// Method gives FuncKey a receiver to render.
+func (t *T) Method() {}
+
+// Iface carries an interface-method directive.
+type Iface interface {
+	//tagdm:blocking
+	Wait()
+}
+
+// Sets is a package-level var with a directive.
+//
+//tagdm:label-set
+var Sets = []string{"a", "b"}

@@ -1,0 +1,248 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"tagdm/internal/analysis"
+	"tagdm/internal/analysis/load"
+)
+
+// loadTestdata loads one testdata package through the standalone loader,
+// which computes markers exactly as the drivers do.
+func loadTestdata(t *testing.T, dir, asPath string) *load.Package {
+	t.Helper()
+	pkg, err := load.Dir(dir, asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func funcDecl(t *testing.T, pkg *load.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no function %q in %s", name, pkg.ImportPath)
+	return nil
+}
+
+func TestComputeMarkersFromSource(t *testing.T) {
+	pkg := loadTestdata(t, "testdata/marked", "example.com/marked")
+	m := pkg.Markers.Pkg("example.com/marked")
+	if m == nil {
+		t.Fatal("no markers for the loaded package")
+	}
+	cases := []struct {
+		key, marker string
+		want        bool
+	}{
+		{"Declared", "blocking", true},
+		{"Overridden", "nonblocking", true},
+		{"Overridden", "blocking", false}, // directive overrides derivation
+		{"Derives", "blocking", true},
+		{"Transitively", "blocking", true}, // same-package fixpoint
+		{"ViaStdlib", "blocking", true},    // sync.WaitGroup.Wait via the table
+		{"Pure", "blocking", false},
+		{"T.Mu", "mutex-nonblocking", true},
+		{"Iface.Wait", "blocking", true},
+		{"Sets", "label-set", true},
+	}
+	for _, c := range cases {
+		if got := m.Has(c.key, c.marker); got != c.want {
+			t.Errorf("Has(%q, %q) = %v, want %v", c.key, c.marker, got, c.want)
+		}
+	}
+
+	// The view-level accessors resolve through types objects.
+	methodDecl := funcDecl(t, pkg, "Method")
+	methodObj, ok := pkg.Info.Defs[methodDecl.Name].(*types.Func)
+	if !ok {
+		t.Fatal("no *types.Func for Method")
+	}
+	if got := analysis.FuncKey(methodObj); got != "T.Method" {
+		t.Errorf("FuncKey(T.Method) = %q", got)
+	}
+	if recv := methodObj.Signature().Recv(); recv == nil ||
+		!pkg.Markers.FieldHas(recv.Type(), "Mu", "mutex-nonblocking") {
+		t.Error("FieldHas(T.Mu, mutex-nonblocking) = false")
+	}
+	setsObj := pkg.Types.Scope().Lookup("Sets")
+	if setsObj == nil {
+		t.Fatal("no object for Sets")
+	}
+	if !pkg.Markers.VarHas(setsObj, "label-set") {
+		t.Error("VarHas(Sets, label-set) = false")
+	}
+}
+
+func TestLockWalker(t *testing.T) {
+	pkg := loadTestdata(t, "testdata/flow", "example.com/flow")
+
+	type visit struct {
+		stmt ast.Stmt
+		keys []string
+	}
+	walk := func(name string) (visits []visit, returnsHeld [][]string) {
+		w := &analysis.LockWalker{
+			Info: pkg.Info,
+			Visit: func(stmt ast.Stmt, held []analysis.HeldLock) {
+				keys := []string{}
+				for _, h := range held {
+					keys = append(keys, h.Key)
+				}
+				visits = append(visits, visit{stmt, keys})
+			},
+			VisitReturn: func(ret *ast.ReturnStmt, held []analysis.HeldLock) {
+				keys := []string{}
+				for _, h := range held {
+					keys = append(keys, h.Key)
+				}
+				returnsHeld = append(returnsHeld, keys)
+			},
+		}
+		w.WalkFunc(funcDecl(t, pkg, name).Body)
+		return visits, returnsHeld
+	}
+	// heldAtIncDec returns the held-lock keys at each s.n++/s.n-- statement
+	// in visit order — the probe statements the testdata plants inside and
+	// outside critical sections.
+	heldAtIncDec := func(visits []visit) [][]string {
+		var out [][]string
+		for _, v := range visits {
+			if _, ok := v.stmt.(*ast.IncDecStmt); ok {
+				out = append(out, v.keys)
+			}
+		}
+		return out
+	}
+
+	t.Run("linear", func(t *testing.T) {
+		visits, _ := walk("linear")
+		probes := heldAtIncDec(visits)
+		// s.n++ under the lock, s.n-- after the unlock.
+		if len(probes) != 2 || len(probes[0]) != 1 || probes[0][0] != "s.mu" || len(probes[1]) != 0 {
+			t.Errorf("held at probes = %v, want [[s.mu] []]", probes)
+		}
+	})
+
+	t.Run("deferred unlock is held but excluded at return", func(t *testing.T) {
+		_, rets := walk("deferred")
+		if len(rets) != 1 || len(rets[0]) != 0 {
+			t.Errorf("non-deferred locks at return = %v, want none", rets)
+		}
+	})
+
+	t.Run("early return after explicit unlock", func(t *testing.T) {
+		_, rets := walk("earlyReturn")
+		if len(rets) != 2 {
+			t.Fatalf("want both returns visited, got %v", rets)
+		}
+		for _, keys := range rets {
+			if len(keys) != 0 {
+				t.Errorf("lock reported held at a return that follows RUnlock: %v", rets)
+			}
+		}
+	})
+
+	t.Run("leaky return is reported held", func(t *testing.T) {
+		_, rets := walk("leakyReturn")
+		leaks := 0
+		for _, keys := range rets {
+			if len(keys) == 1 && keys[0] == "s.mu" {
+				leaks++
+			}
+		}
+		if leaks != 1 {
+			t.Errorf("want exactly one return with s.mu held, got %v", rets)
+		}
+	})
+
+	t.Run("branch union", func(t *testing.T) {
+		visits, _ := walk("branchMerge")
+		probes := heldAtIncDec(visits)
+		// First probe is the else-branch s.n++ (no lock on that path);
+		// second is the post-if s.n++, where the union of branch exits
+		// reports s.mu held.
+		if len(probes) != 2 || len(probes[0]) != 0 ||
+			len(probes[1]) != 1 || probes[1][0] != "s.mu" {
+			t.Errorf("held at probes = %v, want [[] [s.mu]]", probes)
+		}
+	})
+
+	t.Run("loops and switch stay balanced", func(t *testing.T) {
+		visits, rets := walk("loopsAndSwitch")
+		probes := heldAtIncDec(visits)
+		// Loop-init i := 0, range-body s.n++ (unlocked), case-body s.n++
+		// (locked): the walker enters loop bodies and switch clauses, and
+		// balanced lock/unlock pairs leave nothing held at the end.
+		if len(probes) < 2 {
+			t.Fatalf("too few probes visited: %v", probes)
+		}
+		last := visits[len(visits)-1]
+		if _, ok := last.stmt.(*ast.SelectStmt); !ok || len(last.keys) != 0 {
+			t.Errorf("final select visited with %v held (stmt %T), want none", last.keys, last.stmt)
+		}
+		if len(rets) != 0 {
+			t.Errorf("unexpected returns: %v", rets)
+		}
+	})
+}
+
+func TestPassHelpersAndLoadRun(t *testing.T) {
+	pkg := loadTestdata(t, "testdata/marked", "example.com/marked")
+
+	var diags []analysis.Diagnostic
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports every function declaration, exercising Pass helpers",
+		Run: func(pass *analysis.Pass) error {
+			if !pass.PathIs("example.com/marked") {
+				return nil
+			}
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if pass.InTestFile(fd.Pos()) {
+						continue
+					}
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+			return nil
+		},
+	}
+	got, err := load.Run(pkg, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range got {
+		if d.Analyzer != "probe" {
+			t.Fatalf("diagnostic from %q", d.Analyzer)
+		}
+		name := strings.TrimPrefix(d.Message, "func ")
+		names[name] = true
+		diags = append(diags, d)
+	}
+	for _, want := range []string{"Declared", "Overridden", "Derives", "Pure", "Method"} {
+		if !names[want] {
+			t.Errorf("probe missed %s (got %v)", want, names)
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Line < diags[i-1].Pos.Line {
+			t.Fatal("load.Run did not sort diagnostics")
+		}
+	}
+}

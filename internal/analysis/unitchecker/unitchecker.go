@@ -1,0 +1,272 @@
+// Package unitchecker implements the tool side of the `go vet -vettool`
+// protocol for the tagdm-vet suite. The go command plans one "vet unit"
+// per compilation: it writes a JSON config file naming the package's
+// sources, its import map, the gc export data of every dependency, and the
+// fact ("vetx") files earlier units produced, then invokes the tool as
+//
+//	tagdm-vet <unit>.cfg
+//
+// The tool must type-check the unit, read the markers its dependencies
+// exported, write its own markers to cfg.VetxOutput, and report
+// diagnostics on stderr with a nonzero exit. Two probe invocations come
+// first: `-V=full` (a version line the go command uses as a cache key) and
+// `-flags` (a JSON list of tool flags; the suite has none).
+//
+// Markers travel between units as gob-encoded vetx files, so an analyzer
+// checking tagdm/internal/server sees the //tagdm:nonblocking directive on
+// wal.(*Log).Enqueue exactly as it does under the standalone driver in
+// internal/analysis/load. Packages outside the module cannot carry tagdm:
+// directives, so their units take a fast path that writes empty markers
+// without type-checking — stdlib blocking behavior comes from the static
+// table in internal/analysis, not from facts.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tagdm/internal/analysis"
+)
+
+// modulePath scopes the fast path: only packages under this module can
+// carry tagdm: directives or violate tagdm invariants.
+const modulePath = "tagdm"
+
+// Config mirrors the vet config JSON the go command writes for each unit
+// (cmd/go/internal/work's vetConfig); fields the suite ignores are listed
+// so unknown-field decoding stays strict about shape drift.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main dispatches one tool invocation: the version and flag probes, or a
+// unit config. It exits the process: 0 clean, 1 operational failure, 2
+// when diagnostics were reported.
+func Main(analyzers []*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s -V=full | -flags | <unit>.cfg\n", progname)
+		os.Exit(1)
+	}
+	switch arg := os.Args[1]; {
+	case arg == "-V=full":
+		printVersion(progname)
+	case strings.HasPrefix(arg, "-V"):
+		fmt.Printf("%s version devel\n", progname)
+	case arg == "-flags":
+		// The go command probes for tool flags it may forward; the suite
+		// takes none beyond the protocol itself.
+		fmt.Println("[]")
+	case strings.HasSuffix(arg, ".cfg"):
+		if err := runUnit(arg, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "usage: %s -V=full | -flags | <unit>.cfg\n", progname)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the line the go command parses as the tool's cache
+// key: "<name> version devel ... buildID=<hex>". Hashing the executable
+// into the line makes a rebuilt tool invalidate cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// runUnit analyzes one vet unit. Diagnostics terminate the process with
+// exit code 2; the error return covers operational failures only.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	ip := canonicalPath(cfg.ImportPath)
+
+	// Fast path: units outside the module, and external test packages
+	// (every file is _test.go — nothing the drivers would report survives
+	// the test-file filter), export empty markers without type-checking.
+	if !inModule(ip) || allTestFiles(cfg.GoFiles) {
+		return writeVetx(cfg.VetxOutput, emptyMarkers(ip))
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+
+	view := analysis.NewMarkerView()
+	for _, vetx := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetx)
+		if err != nil || len(raw) == 0 {
+			continue // a dependency with no facts
+		}
+		m, err := analysis.DecodeMarkers(raw)
+		if err != nil {
+			return fmt.Errorf("reading facts %s: %v", vetx, err)
+		}
+		m.PkgPath = canonicalPath(m.PkgPath)
+		view.Add(m)
+	}
+
+	pkg, info, err := typecheck(fset, ip, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, emptyMarkers(ip))
+		}
+		return err
+	}
+
+	markers := analysis.ComputeMarkers(fset, files, pkg, info, view)
+	view.Add(markers)
+	if err := writeVetx(cfg.VetxOutput, markers); err != nil {
+		return err
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, view, report)
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s on %s: %v", a.Name, ip, err)
+		}
+	}
+	sup := analysis.CollectSuppressions(fset, files)
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") || sup.Suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if len(kept) > 0 {
+		analysis.SortDiagnostics(kept)
+		for _, d := range kept {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	return nil
+}
+
+// typecheck checks the parsed files as package ip, resolving imports
+// through the unit's import map and the gc export data of dependencies.
+func typecheck(fset *token.FileSet, ip string, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok && mapped != "" {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(ip, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", ip, err)
+	}
+	return pkg, info, nil
+}
+
+// canonicalPath strips the go command's test-variant suffix: the unit for
+// a package compiled for its own tests carries an import path like
+// "tagdm/internal/server [tagdm/internal/server.test]", but path-scoped
+// analyzers (and the marker view) key by the real import path.
+func canonicalPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+func inModule(ip string) bool {
+	return ip == modulePath || strings.HasPrefix(ip, modulePath+"/")
+}
+
+func allTestFiles(names []string) bool {
+	for _, name := range names {
+		if !strings.HasSuffix(name, "_test.go") {
+			return false
+		}
+	}
+	return true
+}
+
+func emptyMarkers(ip string) *analysis.Markers {
+	return &analysis.Markers{PkgPath: ip, Objects: map[string][]string{}}
+}
+
+// writeVetx exports the unit's markers; the go command hands this file to
+// every importer's unit as PackageVetx.
+func writeVetx(path string, m *analysis.Markers) error {
+	if path == "" {
+		return nil
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}

@@ -1,0 +1,268 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tagdm/internal/analysis"
+	"tagdm/internal/analysis/suite"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+func goListDeps(t *testing.T, root string, patterns ...string) []*listedPkg {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,Imports,Module",
+		"-deps",
+	}, patterns...)...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs
+}
+
+// TestUnitProtocolOverModulePackages replays what the go command does for
+// `go vet -vettool`: one VetxOnly unit per dependency in dependency order,
+// each fed the vetx files of its own dependencies, then a full analysis
+// unit for the target package — which must come back clean (a diagnostic
+// would exit the process with code 2, failing the test loudly).
+func TestUnitProtocolOverModulePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/server and its dependencies")
+	}
+	root := moduleRoot(t)
+	listed := goListDeps(t, root, "./internal/server")
+
+	exports := map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	vetxDir := t.TempDir()
+	vetx := map[string]string{} // import path → written vetx file
+
+	mkcfg := func(lp *listedPkg, vetxOnly bool) string {
+		var files []string
+		for _, name := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, name))
+		}
+		importMap := map[string]string{}
+		for _, imp := range lp.Imports {
+			importMap[imp] = imp
+		}
+		out := filepath.Join(vetxDir, strings.ReplaceAll(lp.ImportPath, "/", "_")+".vetx")
+		cfg := Config{
+			ID:          lp.ImportPath,
+			Compiler:    "gc",
+			Dir:         lp.Dir,
+			ImportPath:  lp.ImportPath,
+			GoFiles:     files,
+			ImportMap:   importMap,
+			PackageFile: exports,
+			PackageVetx: vetx,
+			VetxOnly:    vetxOnly,
+			VetxOutput:  out,
+		}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(vetxDir, strings.ReplaceAll(lp.ImportPath, "/", "_")+".cfg")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		vetx[lp.ImportPath] = out
+		return path
+	}
+
+	analyzers := suite.Analyzers()
+	for _, lp := range listed {
+		vetxOnly := lp.ImportPath != "tagdm/internal/server"
+		cfgPath := mkcfg(lp, vetxOnly)
+		if err := runUnit(cfgPath, analyzers); err != nil {
+			t.Fatalf("unit %s: %v", lp.ImportPath, err)
+		}
+		data, err := os.ReadFile(vetx[lp.ImportPath])
+		if err != nil {
+			t.Fatalf("unit %s wrote no vetx: %v", lp.ImportPath, err)
+		}
+		if _, err := analysis.DecodeMarkers(data); err != nil {
+			t.Fatalf("unit %s wrote undecodable vetx: %v", lp.ImportPath, err)
+		}
+	}
+
+	// Facts must have crossed the unit boundary: the wal unit exported the
+	// Enqueue contract and the derived Ticket.Wait classification.
+	data, err := os.ReadFile(vetx["tagdm/internal/wal"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.DecodeMarkers(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has("Log.Enqueue", "nonblocking") {
+		t.Error("wal vetx lost the //tagdm:nonblocking directive on Log.Enqueue")
+	}
+	if !m.Has("Ticket.Wait", "blocking") {
+		t.Error("wal vetx lost the derived blocking classification of Ticket.Wait")
+	}
+	// Standard-library units took the fast path: empty facts.
+	if osData, err := os.ReadFile(vetx["os"]); err == nil {
+		osM, err := analysis.DecodeMarkers(osData)
+		if err != nil {
+			t.Fatalf("os vetx undecodable: %v", err)
+		}
+		if len(osM.Objects) != 0 {
+			t.Errorf("os unit exported markers: %v", osM.Objects)
+		}
+	}
+}
+
+func TestUnitFastPaths(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("external test package", func(t *testing.T) {
+		out := filepath.Join(dir, "xtest.vetx")
+		cfg := writeCfg(t, dir, "xtest", Config{
+			ImportPath: "tagdm/internal/wal_test [tagdm/internal/wal.test]",
+			GoFiles:    []string{"a_test.go", "b_test.go"},
+			VetxOutput: out,
+		})
+		if err := runUnit(cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+		assertEmptyVetx(t, out)
+	})
+
+	t.Run("typecheck failure honors SucceedOnTypecheckFailure", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.go")
+		if err := os.WriteFile(bad, []byte("package bad\n\nvar x int = \"not an int\"\n"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		out := filepath.Join(dir, "bad.vetx")
+		base := Config{
+			ImportPath: "tagdm/internal/bad",
+			GoFiles:    []string{bad},
+			VetxOutput: out,
+		}
+		strict := writeCfg(t, dir, "strict", base)
+		if err := runUnit(strict, nil); err == nil || !strings.Contains(err.Error(), "typecheck") {
+			t.Fatalf("want typecheck error, got %v", err)
+		}
+		base.SucceedOnTypecheckFailure = true
+		lenient := writeCfg(t, dir, "lenient", base)
+		if err := runUnit(lenient, nil); err != nil {
+			t.Fatalf("SucceedOnTypecheckFailure did not succeed: %v", err)
+		}
+		assertEmptyVetx(t, out)
+	})
+
+	t.Run("malformed config", func(t *testing.T) {
+		path := filepath.Join(dir, "mangled.cfg")
+		if err := os.WriteFile(path, []byte("{not json"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := runUnit(path, nil); err == nil {
+			t.Fatal("want parse error")
+		}
+	})
+}
+
+func TestCanonicalPath(t *testing.T) {
+	cases := map[string]string{
+		"tagdm/internal/server":                              "tagdm/internal/server",
+		"tagdm/internal/server [tagdm/internal/server.test]": "tagdm/internal/server",
+		"os": "os",
+	}
+	for in, want := range cases {
+		if got := canonicalPath(in); got != want {
+			t.Errorf("canonicalPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if inModule("tagdm") != true || inModule("tagdm/internal/wal") != true || inModule("tagdmother") != false {
+		t.Error("inModule misclassified a path")
+	}
+	if !allTestFiles([]string{"a_test.go"}) || allTestFiles([]string{"a_test.go", "b.go"}) || allTestFiles(nil) != true {
+		t.Error("allTestFiles misclassified a file set")
+	}
+}
+
+func writeCfg(t *testing.T, dir, name string, cfg Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s.cfg", name))
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func assertEmptyVetx(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.DecodeMarkers(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Objects) != 0 {
+		t.Errorf("expected empty markers, got %v", m.Objects)
+	}
+}

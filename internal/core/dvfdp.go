@@ -144,6 +144,7 @@ func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (
 		}
 	} else {
 		seen := map[int]bool{}
+		//tagdm:cancellable
 		for _, floor := range floors {
 			if seen[floor] {
 				continue
@@ -177,6 +178,7 @@ func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (
 		if anchors > len(bySize) {
 			anchors = len(bySize)
 		}
+		//tagdm:cancellable
 		for a := 0; a < anchors; a++ {
 			if err := ctx.Err(); err != nil {
 				gt.end()
@@ -238,6 +240,7 @@ func (e *Engine) localImprove(ctx context.Context, set []*groups.Group, spec Pro
 		inSet[g.ID] = true
 	}
 	var evals int64
+	//tagdm:cancellable
 	for round := 0; round < 8; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, evals, err

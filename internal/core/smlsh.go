@@ -115,6 +115,7 @@ func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (
 	lo, hi := 1, opts.DPrime
 	dprime := opts.DPrime
 	var fallback []*groups.Group
+	//tagdm:cancellable
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result{Algorithm: name}, err

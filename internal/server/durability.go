@@ -104,14 +104,19 @@ type degraded struct {
 // degrade latches read-only mode on the first disk failure. Ingest and
 // refresh return 503 from then on; analyze keeps serving the last published
 // snapshot (which by construction only ever contained durably acknowledged
-// data, because publication happens after the WAL ack).
-func (s *Server) degrade(op string, err error) {
+// data, because publication happens after the WAL ack). The context is the
+// operation that tripped the failure: the access-log line carries its
+// request ID, so the degradation can be traced to the request that hit it.
+func (s *Server) degrade(ctx context.Context, op string, err error) {
 	d := &degraded{reason: fmt.Sprintf("%s: %v", op, err), at: time.Now()}
 	if s.degradedP.CompareAndSwap(nil, d) {
 		s.metrics.degradations.Inc()
 		if s.cfg.AccessLog != nil {
-			s.cfg.AccessLog.LogAttrs(context.Background(), slog.LevelError, "entering read-only mode",
-				slog.String("reason", d.reason))
+			attrs := []slog.Attr{slog.String("reason", d.reason)}
+			if id := obs.RequestIDFrom(ctx); id != "" {
+				attrs = append(attrs, slog.String("request_id", id))
+			}
+			s.cfg.AccessLog.LogAttrs(ctx, slog.LevelError, "entering read-only mode", attrs...)
 		}
 	}
 }
@@ -125,13 +130,14 @@ func (s *Server) degradedReason() (string, bool) {
 }
 
 // checkDurable latches failures the WAL hit outside a request (interval
-// fsync ticker, background flush). Cheap; called from ingest and healthz.
-func (s *Server) checkDurable() {
+// fsync ticker, background flush). Cheap; called from ingest and healthz
+// with the request context, which degrade threads into the access log.
+func (s *Server) checkDurable(ctx context.Context) {
 	if s.dur == nil {
 		return
 	}
 	if err := s.dur.log.Err(); err != nil {
-		s.degrade("wal", err)
+		s.degrade(ctx, "wal", err)
 	}
 }
 
@@ -239,6 +245,7 @@ func (s *Server) openDurable(root *obs.Span) error {
 	})
 	replaySpan.End()
 	if err != nil {
+		//tagdm:allow-discard boot already failing; the replay error is the one worth surfacing
 		log.Close()
 		s.dur = nil
 		return err
@@ -248,7 +255,9 @@ func (s *Server) openDurable(root *obs.Span) error {
 	// is uniformly "checkpoint + tail", and so the server can boot from the
 	// data dir alone (no corpus flags).
 	if ckpt == nil {
-		if err := s.Checkpoint(); err != nil {
+		//tagdm:nolint ctxflow -- boot path: no request context exists before the server is up
+		if err := s.Checkpoint(context.Background()); err != nil {
+			//tagdm:allow-discard boot already failing; the checkpoint error is the one worth surfacing
 			log.Close()
 			s.dur = nil
 			return fmt.Errorf("server: writing initial checkpoint: %w", err)
@@ -261,8 +270,10 @@ func (s *Server) openDurable(root *obs.Span) error {
 // covered sequence, writes the checkpoint file atomically and prunes WAL
 // segments and old checkpoints it supersedes. Safe to call concurrently
 // with ingest: the capture holds the write lock only for the in-memory
-// serialization; all disk I/O happens outside it.
-func (s *Server) Checkpoint() error {
+// serialization; all disk I/O happens outside it. The context identifies
+// the caller in degradation log lines; the checkpoint itself is not
+// interruptible (a half-applied checkpoint would be worse than a slow one).
+func (s *Server) Checkpoint(ctx context.Context) error {
 	if s.dur == nil {
 		return nil
 	}
@@ -308,7 +319,7 @@ func (s *Server) Checkpoint() error {
 	if err := s.dur.log.Sync(); err != nil {
 		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
-		s.degrade("wal sync for checkpoint", err)
+		s.degrade(ctx, "wal sync for checkpoint", err)
 		return err
 	}
 
@@ -322,17 +333,18 @@ func (s *Server) Checkpoint() error {
 		wal.EncodeEnvelope(ckptMagic, payload.Bytes())); err != nil {
 		restoreProgress()
 		s.metrics.checkpointErrors.Inc()
-		s.degrade("checkpoint write", err)
+		s.degrade(ctx, "checkpoint write", err)
 		return err
 	}
 
 	// The checkpoint is durable; everything before it is dead weight.
 	if err := s.dur.log.Rotate(); err != nil {
 		s.metrics.checkpointErrors.Inc()
-		s.degrade("wal rotate", err)
+		s.degrade(ctx, "wal rotate", err)
 		return err
 	}
-	_ = s.dur.log.RemoveBefore(covered) // best effort; replay skips covered segments anyway
+	//tagdm:allow-discard best effort; replay skips covered segments anyway
+	_ = s.dur.log.RemoveBefore(covered)
 	s.pruneCheckpoints()
 
 	s.ckptLastSeq.Store(covered)
@@ -357,7 +369,8 @@ func (s *Server) maybeCheckpointAsync() {
 	}
 	go func() {
 		defer s.ckptRunning.Store(false)
-		_ = s.Checkpoint() // errors latch degraded mode and surface via /healthz
+		//tagdm:nolint ctxflow -- detached by design: the checkpoint outlives the request that triggered it
+		_ = s.Checkpoint(context.Background()) //tagdm:allow-discard errors latch degraded mode and surface via /healthz
 	}()
 }
 
@@ -366,7 +379,10 @@ func (s *Server) maybeCheckpointAsync() {
 // actions (Insert grows the store only), so actions are read back out of it
 // in insert order. Dictionaries are shared append-only structures; the JSON
 // format pins their code assignments so a recovered dataset re-encodes
-// every value and tag to the same codes.
+// every value and tag to the same codes. It writes only into an in-memory
+// buffer — no disk I/O — so it is safe under s.mu.
+//
+//tagdm:nonblocking
 func (s *Server) encodeDatasetLocked() ([]byte, error) {
 	st := s.maint.Store()
 	d := &model.Dataset{
@@ -453,6 +469,7 @@ func readCheckpoint(fs wal.FS, path string) (*checkpointBody, error) {
 	if err != nil {
 		return nil, fmt.Errorf("opening %s: %w", path, err)
 	}
+	//tagdm:allow-discard read-only checkpoint handle, nothing buffered to lose
 	defer f.Close()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(f); err != nil {
@@ -477,6 +494,7 @@ func (s *Server) pruneCheckpoints() {
 		return
 	}
 	for len(seqs) > keepCheckpoints {
+		//tagdm:allow-discard best effort by contract: a failed removal only costs disk
 		_ = s.dur.fs.Remove(filepath.Join(s.dur.dir, ckptName(seqs[0])))
 		seqs = seqs[1:]
 	}
@@ -491,10 +509,12 @@ func writeFileAtomic(fs wal.FS, dir, name string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
+		//tagdm:allow-discard the write error is the durability signal; close is cleanup of a doomed temp file
 		f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		//tagdm:allow-discard the sync error is the durability signal; close is cleanup of a doomed temp file
 		f.Close()
 		return err
 	}

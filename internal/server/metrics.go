@@ -24,18 +24,44 @@ const stageTotal = "total"
 // solverFamilies lists the families whose series are pre-registered, so
 // /metrics exposes zero-valued series from boot instead of materializing
 // them on first use.
+//
+//tagdm:label-set
 var solverFamilies = []string{famExact, famSMLSH, famDVFDP}
 
 // familyStages maps each family to the stage labels its solvers emit (see
-// the core.Stage* constants) plus the synthetic total.
+// the core.Stage* constants) plus the synthetic total and the stageOther
+// bucket for stage names no release of the solvers is known to produce.
+//
+//tagdm:label-set
 var familyStages = map[string][]string{
-	famExact: {core.StageMatrix, core.StageEnumerate, stageTotal},
-	famSMLSH: {core.StageMatrix, core.StageLSHBuild, core.StageBucketScan, stageTotal},
-	famDVFDP: {core.StageMatrix, core.StageGreedy, core.StageLocalSearch, stageTotal},
+	famExact: {core.StageMatrix, core.StageEnumerate, stageTotal, stageOther},
+	famSMLSH: {core.StageMatrix, core.StageLSHBuild, core.StageBucketScan, stageTotal, stageOther},
+	famDVFDP: {core.StageMatrix, core.StageGreedy, core.StageLocalSearch, stageTotal, stageOther},
+}
+
+// stageOther is the overflow bucket stageLabel folds unknown stage names
+// into, so a solver emitting a new stage cannot mint unbounded series.
+const stageOther = "other"
+
+// stageLabel admits a core.Result stage name into the bounded label space:
+// names pre-registered for the family pass through, anything else becomes
+// stageOther. core.Result stages are runtime data as far as this package
+// is concerned, and runtime data must never reach a label unsanitized.
+//
+//tagdm:label-sanitizer
+func stageLabel(fam, name string) string {
+	for _, known := range familyStages[fam] {
+		if known == name {
+			return name
+		}
+	}
+	return stageOther
 }
 
 // familyOf buckets a core.Result algorithm name ("Exact", "SM-LSH-Fo",
 // "DV-FDP-Fi", ...) into its metric family label.
+//
+//tagdm:label-sanitizer
 func familyOf(algorithm string) string {
 	switch {
 	case algorithm == "Exact":
@@ -51,6 +77,8 @@ func familyOf(algorithm string) string {
 
 // endpointLabel maps a request path to a bounded endpoint label so the
 // per-endpoint series can never grow with attacker-chosen paths.
+//
+//tagdm:label-sanitizer
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/analyze":
@@ -70,6 +98,7 @@ func endpointLabel(path string) string {
 	}
 }
 
+//tagdm:label-set
 var endpointLabels = []string{"analyze", "actions", "refresh", "stats", "metrics", "healthz", "other"}
 
 // metrics is the server's obs.Registry plus handles to every series the
@@ -298,7 +327,7 @@ func (m *metrics) recordSolve(res core.Result, solverWall, total time.Duration) 
 	m.matrixHits.With(fam).Add(int64(res.MatrixHits))
 	m.solveLatency.With(fam).Observe(total.Seconds())
 	for _, st := range res.Stages {
-		m.solveStage.With(fam, st.Name).Observe(st.Wall.Seconds())
+		m.solveStage.With(fam, stageLabel(fam, st.Name)).Observe(st.Wall.Seconds())
 	}
 	m.solveStage.With(fam, stageTotal).Observe(solverWall.Seconds())
 }

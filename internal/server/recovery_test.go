@@ -170,7 +170,7 @@ func TestDurableRecoveryKillAtEveryOffset(t *testing.T) {
 	for i, b := range batches {
 		ingestOK(t, ts, b)
 		if i+1 == ckptAfter {
-			if err := s.Checkpoint(); err != nil {
+			if err := s.Checkpoint(context.Background()); err != nil {
 				t.Fatalf("mid-run checkpoint: %v", err)
 			}
 		}
@@ -387,7 +387,7 @@ func TestFsyncFailureDegradesToReadOnly(t *testing.T) {
 	if resp, _ := postJSON(t, ts, "/v1/refresh", struct{}{}); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("refresh while degraded: status %d, want 503", resp.StatusCode)
 	}
-	if err := s.Checkpoint(); err == nil {
+	if err := s.Checkpoint(context.Background()); err == nil {
 		t.Fatal("checkpoint while degraded must refuse")
 	}
 
@@ -501,7 +501,7 @@ func TestConcurrentIngestDuringCheckpoint(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for n := 0; n < 8; n++ {
-			if err := s.Checkpoint(); err != nil {
+			if err := s.Checkpoint(context.Background()); err != nil {
 				t.Errorf("concurrent checkpoint: %v", err)
 				return
 			}

@@ -180,7 +180,10 @@ type Server struct {
 	cfg Config
 
 	// mu serializes the write side: the maintainer, the dataset tables it
-	// reads, and snapshot publication.
+	// reads, and snapshot publication. Held across apply+enqueue, never
+	// across disk I/O or the WAL ticket wait.
+	//
+	//tagdm:mutex nonblocking
 	mu    sync.Mutex
 	ds    *model.Dataset
 	maint *incremental.Maintainer
@@ -246,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	if err := s.publishLocked(); err != nil {
 		s.pool.close()
 		if s.dur != nil {
+			//tagdm:allow-discard boot already failing; the open error is the one worth surfacing
 			s.dur.log.Close()
 		}
 		return nil, err
@@ -325,6 +329,7 @@ func (w *statusWriter) statusCode() int {
 func (s *Server) Close() {
 	s.pool.close()
 	if s.dur != nil {
+		//tagdm:allow-discard Close has no error path to report into; Shutdown is the checked exit
 		_ = s.dur.log.Close()
 	}
 }
@@ -332,17 +337,17 @@ func (s *Server) Close() {
 // Shutdown is the graceful exit: drain the worker pool, write a final
 // checkpoint (unless degraded — a degraded server must not publish
 // checkpoints over possibly-unsynced state), then flush, fsync and close
-// the WAL. The context is reserved for future deadline support; the
+// the WAL. The context is threaded into the checkpoint's degradation
+// logging; the
 // checkpoint itself is not interruptible.
 func (s *Server) Shutdown(ctx context.Context) error {
-	_ = ctx
 	s.pool.close()
 	if s.dur == nil {
 		return nil
 	}
 	var err error
 	if _, isDegraded := s.degradedReason(); !isDegraded {
-		err = s.Checkpoint()
+		err = s.Checkpoint(ctx)
 	}
 	if cerr := s.dur.log.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -818,7 +823,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 	defer root.End()
 	root.SetAttr("request_id", obs.RequestIDFrom(r.Context()))
 
-	s.checkDurable()
+	s.checkDurable(r.Context())
 	if reason, ok := s.degradedReason(); ok {
 		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusServiceUnavailable, "read-only mode: %s", reason)
@@ -857,7 +862,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		// Validation guarantees apply cannot fail; if it does, the memory
 		// state may have diverged from what the WAL will record, so stop
 		// accepting writes.
-		s.degrade("batch apply after validation", err)
+		s.degrade(r.Context(), "batch apply after validation", err)
 		s.mu.Unlock()
 		applySpan.End()
 		writeError(w, http.StatusInternalServerError, "applying batch: %v", err)
@@ -889,7 +894,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		s.metrics.walAppendWait.Observe(time.Since(waitStart).Seconds())
 		if err != nil {
 			s.metrics.walAppendErrors.Inc()
-			s.degrade("wal append", err)
+			s.degrade(r.Context(), "wal append", err)
 			w.Header().Set("Retry-After", "30")
 			writeError(w, http.StatusServiceUnavailable,
 				"write-ahead log failure, entering read-only mode: %v", err)
@@ -1030,7 +1035,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	s.checkDurable()
+	s.checkDurable(r.Context())
 	if reason, ok := s.degradedReason(); ok {
 		// Publishing while degraded could expose applied-but-unacknowledged
 		// batches to analyses.
@@ -1134,6 +1139,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	//tagdm:allow-discard scrape write failure means the scraper hung up; nothing to repair server-side
 	_ = s.metrics.reg.WriteText(w)
 }
 
@@ -1141,7 +1147,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // still answers 200 (it is alive and serving analyses) but reports its
 // read-only state so orchestration and operators can see it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.checkDurable()
+	s.checkDurable(r.Context())
 	if reason, ok := s.degradedReason(); ok {
 		writeJSON(w, http.StatusOK, map[string]string{
 			"status": "degraded",

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"tagdm/internal/core"
+	"tagdm/internal/obs"
+)
+
+// These tests pin the fixes surfaced by the tagdm-vet self-check: stage
+// labels must stay inside the bounded, boot-registered set, and durability
+// degradation logging must carry the request context that triggered it.
+
+func TestStageLabelBoundsCardinality(t *testing.T) {
+	for fam, stages := range familyStages {
+		for _, st := range stages {
+			if got := stageLabel(fam, st); got != st {
+				t.Errorf("stageLabel(%q, %q) = %q, want passthrough", fam, st, got)
+			}
+		}
+		if got := stageLabel(fam, "totally-new-stage"); got != stageOther {
+			t.Errorf("stageLabel(%q, unknown) = %q, want %q", fam, got, stageOther)
+		}
+	}
+	// A family with no registered stages folds everything, even names that
+	// are valid for other families.
+	if got := stageLabel(famOther, core.StageMatrix); got != stageOther {
+		t.Errorf("stageLabel(other, %q) = %q, want %q", core.StageMatrix, got, stageOther)
+	}
+}
+
+func TestRecordSolveNeverMintsUnboundedStageSeries(t *testing.T) {
+	m := newMetrics()
+	m.recordSolve(core.Result{
+		Algorithm: "SM-LSH d'=4",
+		Stages: []core.Stage{
+			{Name: core.StageLSHBuild, Wall: time.Millisecond},
+			{Name: "attacker-controlled-stage", Wall: time.Millisecond},
+		},
+	}, time.Millisecond, 2*time.Millisecond)
+
+	var buf strings.Builder
+	if err := m.reg.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	if strings.Contains(text, "attacker-controlled-stage") {
+		t.Fatalf("unsanitized stage name reached /metrics:\n%s", text)
+	}
+	if !strings.Contains(text, `stage="`+stageOther+`"`) {
+		t.Fatalf("unknown stage was dropped instead of folded into %q:\n%s", stageOther, text)
+	}
+	if !strings.Contains(text, `stage="`+core.StageLSHBuild+`"`) {
+		t.Fatalf("known stage %q missing from /metrics:\n%s", core.StageLSHBuild, text)
+	}
+}
+
+func TestDegradeCarriesRequestContext(t *testing.T) {
+	var buf syncBuffer
+	s := newTestServer(t, func(c *Config) {
+		c.AccessLog = obs.NewJSONLogger(&buf, slog.LevelInfo)
+	})
+
+	const reqID = "deadbeefcafef00d"
+	ctx := obs.ContextWithRequestID(t.Context(), reqID)
+	s.degrade(ctx, "wal append", errors.New("disk on fire"))
+
+	if _, ok := s.degradedReason(); !ok {
+		t.Fatal("degrade did not latch read-only mode")
+	}
+
+	var line map[string]any
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if raw == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatalf("degradation log line is not JSON: %q: %v", raw, err)
+		}
+		if m["msg"] == "entering read-only mode" {
+			line = m
+		}
+	}
+	if line == nil {
+		t.Fatalf("no degradation log line:\n%s", buf.String())
+	}
+	if line["request_id"] != reqID {
+		t.Fatalf("degradation line request_id = %v, want %q", line["request_id"], reqID)
+	}
+	reason, _ := line["reason"].(string)
+	if !strings.Contains(reason, "wal append") || !strings.Contains(reason, "disk on fire") {
+		t.Fatalf("degradation reason %q lost the operation or error", reason)
+	}
+
+	// Second failure while already degraded must not re-log: the latch is
+	// sticky and the first cause is the one that matters.
+	before := buf.String()
+	s.degrade(ctx, "wal append", errors.New("still on fire"))
+	if buf.String() != before {
+		t.Fatal("second degrade call re-logged despite the sticky latch")
+	}
+}

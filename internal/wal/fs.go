@@ -105,6 +105,7 @@ func (OSFS) SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
+	//tagdm:allow-discard directory handle closed after fsync; close errors carry no durability signal
 	defer d.Close()
 	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
 		return err

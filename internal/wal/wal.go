@@ -186,6 +186,8 @@ type Log struct {
 
 	// mu guards queue state: pending tickets, sequence assignment and the
 	// closed/failed flags. It is never held across disk I/O.
+	//
+	//tagdm:mutex nonblocking
 	mu       sync.Mutex
 	pending  []*ticket
 	pendingB int
@@ -323,6 +325,7 @@ func scanSegment(fs FS, path string, firstSeq uint64, final bool) (segScan, erro
 	if err != nil {
 		return segScan{}, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
+	//tagdm:allow-discard read-only scan handle, nothing buffered to lose
 	defer f.Close()
 	var out segScan
 	expect := firstSeq
@@ -398,6 +401,8 @@ func readFull(r *bufio.Reader, p []byte) (int, error) {
 // may hold their own state lock across it to guarantee the WAL order
 // matches their in-memory apply order. Wait on the ticket after releasing
 // that lock.
+//
+//tagdm:nonblocking
 func (l *Log) Enqueue(payload []byte) *Ticket {
 	t := &ticket{done: make(chan error, 1)}
 	l.mu.Lock()
@@ -726,6 +731,7 @@ func replaySegment(fs FS, path string, firstSeq, fromSeq uint64, fn func(uint64,
 	if err != nil {
 		return fmt.Errorf("wal: opening %s for replay: %w", path, err)
 	}
+	//tagdm:allow-discard read-only replay handle, nothing buffered to lose
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var hdr [frameHeaderSize]byte
