@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tagdm-bench [-scale fast|paper] [-fig 1|3|5|7|9] [-table 1|2] [-all]
-//	            [-bnb] [-sparse] [-trace] [-json]
+//	            [-bnb] [-sparse] [-trace] [-json] [-commit sha] [-timestamp ts]
 //
 // With -all (the default when no selector is given) every artifact is
 // produced in order. -fig 3 covers Figures 3 and 4 (same runs measure time
@@ -19,6 +19,12 @@
 //	{"bench":"fig3","scale":"fast","problem":"Problem 1","algorithm":"Exact",
 //	 "millis":2.1,"quality":0.83,"found":true}
 //
+// The first -json line is a self-describing meta record carrying the git
+// commit (-commit, defaulting to `git rev-parse --short HEAD` when
+// available), a timestamp (-timestamp overrides the wall clock, for
+// reproducible records), and the run configuration, so a trajectory file
+// pins each measurement to the code that produced it.
+//
 // Untimed artifacts (tag clouds, the user study, tables) keep their text
 // form and are skipped under -json.
 package main
@@ -30,6 +36,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"time"
 
 	"tagdm/internal/core"
@@ -70,13 +79,59 @@ type benchRecord struct {
 
 func millis(d time.Duration) float64 { return float64(d) / 1e6 }
 
+// benchMeta is the first -json line: it pins the trajectory records that
+// follow to the code revision, time, and environment that produced them.
+type benchMeta struct {
+	Bench     string `json:"bench"` // always "meta"
+	Scale     string `json:"scale"`
+	Commit    string `json:"commit,omitempty"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Args      string `json:"args"`
+}
+
+// resolveCommit returns the explicit flag value, or asks git for the
+// current short commit; empty (not fatal) when neither is available, so
+// exported binaries outside a checkout still emit records.
+func resolveCommit(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 type jsonEmitter struct {
 	enc   *json.Encoder
 	scale string
 }
 
-func newJSONEmitter(scale string) *jsonEmitter {
-	return &jsonEmitter{enc: json.NewEncoder(os.Stdout), scale: scale}
+func newJSONEmitter(scale, commit, timestamp string) *jsonEmitter {
+	e := &jsonEmitter{enc: json.NewEncoder(os.Stdout), scale: scale}
+	if timestamp == "" {
+		timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	meta := benchMeta{
+		Bench:     "meta",
+		Scale:     scale,
+		Commit:    resolveCommit(commit),
+		Timestamp: timestamp,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Args:      strings.Join(os.Args[1:], " "),
+	}
+	if err := e.enc.Encode(meta); err != nil {
+		log.Fatal(err)
+	}
+	return e
 }
 
 func (e *jsonEmitter) record(r benchRecord) {
@@ -156,6 +211,8 @@ func main() {
 	trace := flag.Bool("trace", false, "emit per-stage solver timing breakdowns (matrix, enumerate, lsh_build, ...)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
+	commit := flag.String("commit", "", "git commit recorded in the -json meta line (default: git rev-parse --short HEAD)")
+	timestamp := flag.String("timestamp", "", "timestamp recorded in the -json meta line (default: wall clock, RFC 3339)")
 	flag.Parse()
 
 	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse && !*trace {
@@ -174,7 +231,7 @@ func main() {
 
 	var emit *jsonEmitter
 	if *asJSON {
-		emit = newJSONEmitter(*scale)
+		emit = newJSONEmitter(*scale, *commit, *timestamp)
 	}
 
 	if emit == nil {

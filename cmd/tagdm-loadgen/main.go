@@ -1,0 +1,450 @@
+// Command tagdm-loadgen drives a running tagdm-serve with an open-loop
+// workload and reports throughput and latency quantiles, for measuring the
+// sharded scatter-gather serving tier under load.
+//
+// Usage:
+//
+//	tagdm-loadgen [-addr http://localhost:8080] [-duration 10s] [-rate 50]
+//	              [-concurrency 256] [-ingest-ratio 0.05] [-warmup 0s]
+//	              [-queries "Q1;Q2"] [-seed 1] [-timeout 10s]
+//	              [-label name] [-commit sha] [-timestamp ts] [-out file]
+//
+// The generator is open-loop: arrivals follow a Poisson process at -rate
+// requests per second, scheduled independently of completions, so a slow
+// server accumulates in-flight requests instead of silently throttling the
+// offered load (the coordinated-omission trap of closed-loop harnesses).
+// -concurrency only caps in-flight requests as a client-side safety valve;
+// arrivals that would exceed it are counted as dropped, never blocked on.
+//
+// Traffic mixes analyze and ingest: each arrival is an ANALYZE query with
+// probability 1 - ingest-ratio (rotating through the -queries list,
+// semicolon-separated) and otherwise a small ingest batch referencing
+// entities the server reported in /v1/stats, so the store grows and
+// snapshots keep publishing while analyses run — the HTAP mix the serving
+// tier is built for.
+//
+// Results are printed as a human summary on stderr and appended to -out
+// (default stdout) as one self-describing JSON record carrying the load
+// configuration, the server shape (shards, workers, epoch), the git commit
+// (-commit, defaulting to `git rev-parse --short HEAD` when available) and
+// a timestamp (-timestamp overrides the wall clock for reproducible
+// records), plus per-class throughput and p50/p95/p99 latencies.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type classStats struct {
+	mu       sync.Mutex
+	latMs    []float64
+	errors   int64
+	statuses map[int]int64
+}
+
+func (c *classStats) record(lat time.Duration, status int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.statuses == nil {
+		c.statuses = make(map[int]int64)
+	}
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.statuses[status]++
+	if status == http.StatusOK {
+		c.latMs = append(c.latMs, float64(lat)/1e6)
+	}
+}
+
+// classReport is the per-traffic-class slice of the emitted JSON record.
+type classReport struct {
+	Sent      int64            `json:"sent"`
+	OK        int64            `json:"ok"`
+	Errors    int64            `json:"errors"`
+	Statuses  map[string]int64 `json:"statuses,omitempty"`
+	MeanMs    float64          `json:"mean_ms"`
+	P50Ms     float64          `json:"p50_ms"`
+	P95Ms     float64          `json:"p95_ms"`
+	P99Ms     float64          `json:"p99_ms"`
+	Throughpt float64          `json:"throughput_rps"`
+}
+
+func (c *classStats) report(elapsed time.Duration) classReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sent int64 = c.errors
+	statuses := make(map[string]int64, len(c.statuses))
+	for code, n := range c.statuses {
+		sent += n
+		statuses[fmt.Sprint(code)] = n
+	}
+	r := classReport{
+		Sent:     sent,
+		OK:       c.statuses[http.StatusOK],
+		Errors:   c.errors,
+		Statuses: statuses,
+		MeanMs:   mean(c.latMs),
+		P50Ms:    percentile(c.latMs, 0.50),
+		P95Ms:    percentile(c.latMs, 0.95),
+		P99Ms:    percentile(c.latMs, 0.99),
+	}
+	if elapsed > 0 {
+		r.Throughpt = float64(r.OK) / elapsed.Seconds()
+	}
+	return r
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// percentile returns the q-quantile (0 < q <= 1) by the nearest-rank rule
+// over a copy of xs; 0 when empty.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// serverShape is what /v1/stats tells us about the target before the run.
+type serverShape struct {
+	Shards int   `json:"shards"`
+	Epoch  int64 `json:"epoch"`
+	Users  int   `json:"users"`
+	Items  int   `json:"items"`
+	Pool   struct {
+		Workers int `json:"workers"`
+	} `json:"pool"`
+}
+
+// loadRecord is the self-describing JSON measurement appended to -out.
+type loadRecord struct {
+	Bench     string `json:"bench"` // always "loadgen"
+	Label     string `json:"label,omitempty"`
+	Commit    string `json:"commit,omitempty"`
+	Timestamp string `json:"timestamp"`
+
+	Config struct {
+		Addr        string   `json:"addr"`
+		RatePerSec  float64  `json:"rate_per_sec"`
+		DurationSec float64  `json:"duration_sec"`
+		Concurrency int      `json:"concurrency"`
+		IngestRatio float64  `json:"ingest_ratio"`
+		Seed        int64    `json:"seed"`
+		Queries     []string `json:"queries"`
+		Server      struct {
+			Shards  int   `json:"shards"`
+			Workers int   `json:"workers"`
+			Epoch   int64 `json:"start_epoch"`
+		} `json:"server"`
+	} `json:"config"`
+
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Arrivals      int64   `json:"arrivals"`
+	Dropped       int64   `json:"dropped"` // shed client-side at the concurrency cap
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Analyze classReport `json:"analyze"`
+	Ingest  classReport `json:"ingest"`
+}
+
+func defaultQueries() []string {
+	return []string{
+		"ANALYZE PROBLEM 1 WITH k=3, support=1%",
+		"ANALYZE PROBLEM 3 WITH k=3, support=1%",
+		"ANALYZE PROBLEM 5 WITH k=3, support=1%",
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagdm-loadgen: ")
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "base URL of the tagdm-serve target")
+		duration    = flag.Duration("duration", 10*time.Second, "measured run length")
+		warmup      = flag.Duration("warmup", 0, "unmeasured warm-up run before the measured window")
+		rate        = flag.Float64("rate", 50, "offered load: Poisson arrivals per second")
+		concurrency = flag.Int("concurrency", 256, "in-flight request cap (client-side safety valve)")
+		ingestRatio = flag.Float64("ingest-ratio", 0.05, "fraction of arrivals that are ingest batches")
+		queries     = flag.String("queries", "", "semicolon-separated ANALYZE statements (default: problems 1, 3, 5)")
+		seed        = flag.Int64("seed", 1, "RNG seed for arrivals and traffic mix")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		label       = flag.String("label", "", "free-form label recorded with the results (e.g. shards=4)")
+		commit      = flag.String("commit", "", "git commit recorded with the results (default: git rev-parse --short HEAD)")
+		timestamp   = flag.String("timestamp", "", "timestamp recorded with the results (default: wall clock, RFC 3339)")
+		out         = flag.String("out", "", "append the JSON record to this file (default stdout)")
+	)
+	flag.Parse()
+	if *rate <= 0 {
+		log.Fatal("-rate must be positive")
+	}
+	if *ingestRatio < 0 || *ingestRatio > 1 {
+		log.Fatal("-ingest-ratio must be in [0, 1]")
+	}
+
+	qs := defaultQueries()
+	if *queries != "" {
+		qs = qs[:0]
+		for _, q := range strings.Split(*queries, ";") {
+			if q = strings.TrimSpace(q); q != "" {
+				qs = append(qs, q)
+			}
+		}
+		if len(qs) == 0 {
+			log.Fatal("-queries contained no statements")
+		}
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency,
+			MaxIdleConnsPerHost: *concurrency,
+		},
+	}
+	shape, err := fetchShape(client, *addr)
+	if err != nil {
+		log.Fatalf("probing %s/v1/stats: %v", *addr, err)
+	}
+	if shape.Users == 0 || shape.Items == 0 {
+		log.Fatal("target has no users or items; ingest traffic needs entities to reference")
+	}
+	log.Printf("target: %d shard(s) x %d workers, epoch %d, %d users, %d items",
+		shape.Shards, shape.Pool.Workers, shape.Epoch, shape.Users, shape.Items)
+
+	if *warmup > 0 {
+		log.Printf("warmup: %s at %.0f req/s", *warmup, *rate)
+		gen := &generator{client: client, addr: *addr, queries: qs, shape: shape,
+			rate: *rate, ingestRatio: *ingestRatio, concurrency: *concurrency,
+			rng: rand.New(rand.NewSource(*seed + 1))}
+		gen.run(*warmup)
+	}
+
+	log.Printf("measuring: %s at %.0f req/s (ingest ratio %.2f)", *duration, *rate, *ingestRatio)
+	gen := &generator{client: client, addr: *addr, queries: qs, shape: shape,
+		rate: *rate, ingestRatio: *ingestRatio, concurrency: *concurrency,
+		rng: rand.New(rand.NewSource(*seed))}
+	elapsed := gen.run(*duration)
+
+	var rec loadRecord
+	rec.Bench = "loadgen"
+	rec.Label = *label
+	rec.Commit = resolveCommit(*commit)
+	rec.Timestamp = *timestamp
+	if rec.Timestamp == "" {
+		rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	rec.Config.Addr = *addr
+	rec.Config.RatePerSec = *rate
+	rec.Config.DurationSec = duration.Seconds()
+	rec.Config.Concurrency = *concurrency
+	rec.Config.IngestRatio = *ingestRatio
+	rec.Config.Seed = *seed
+	rec.Config.Queries = qs
+	rec.Config.Server.Shards = shape.Shards
+	rec.Config.Server.Workers = shape.Pool.Workers
+	rec.Config.Server.Epoch = shape.Epoch
+	rec.ElapsedSec = elapsed.Seconds()
+	rec.Arrivals = gen.arrivals
+	rec.Dropped = gen.dropped
+	rec.Analyze = gen.analyze.report(elapsed)
+	rec.Ingest = gen.ingest.report(elapsed)
+	rec.ThroughputRPS = rec.Analyze.Throughpt + rec.Ingest.Throughpt
+
+	log.Printf("done: %d arrivals, %d dropped, %.1f req/s completed",
+		rec.Arrivals, rec.Dropped, rec.ThroughputRPS)
+	log.Printf("analyze: %d ok, %d errors, p50 %.2fms p95 %.2fms p99 %.2fms",
+		rec.Analyze.OK, rec.Analyze.Errors, rec.Analyze.P50Ms, rec.Analyze.P95Ms, rec.Analyze.P99Ms)
+	log.Printf("ingest:  %d ok, %d errors, p50 %.2fms p95 %.2fms p99 %.2fms",
+		rec.Ingest.OK, rec.Ingest.Errors, rec.Ingest.P50Ms, rec.Ingest.P95Ms, rec.Ingest.P99Ms)
+
+	line, err := json.Marshal(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line = append(line, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(line); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Write(line); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// resolveCommit returns the explicit flag value, or asks git for the
+// current short commit; empty (not fatal) when neither is available, so
+// records from exported binaries still emit.
+func resolveCommit(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fetchShape(client *http.Client, addr string) (serverShape, error) {
+	var shape serverShape
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return shape, err
+	}
+	//tagdm:allow-discard read-only response body, nothing buffered to lose
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return shape, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shape); err != nil {
+		return shape, err
+	}
+	return shape, nil
+}
+
+// generator owns one open-loop run. The arrival loop is single-threaded
+// (it draws inter-arrival gaps and request payloads from rng), each request
+// runs on its own goroutine, and results fold into the per-class stats.
+type generator struct {
+	client      *http.Client
+	addr        string
+	queries     []string
+	shape       serverShape
+	rate        float64
+	ingestRatio float64
+	concurrency int
+	rng         *rand.Rand
+
+	arrivals int64
+	dropped  int64
+	analyze  classStats
+	ingest   classStats
+}
+
+var ingestTags = []string{"epic", "classic", "quirky", "slow", "loud", "tense"}
+
+func (g *generator) run(d time.Duration) time.Duration {
+	start := time.Now()
+	deadline := start.Add(d)
+	sem := make(chan struct{}, g.concurrency)
+	var wg sync.WaitGroup
+	next := start
+	for {
+		// Poisson arrivals: exponential inter-arrival gaps, scheduled on an
+		// absolute timeline so a slow send cannot throttle the offered load.
+		gap := time.Duration(g.rng.ExpFloat64() / g.rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		g.arrivals++
+		method, path, body, stats := g.nextRequest()
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Client-side cap reached. Open-loop discipline: record the
+			// drop and move on; never block the arrival clock.
+			g.dropped++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g.fire(method, path, body, stats)
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// nextRequest draws one arrival from the traffic mix. Runs on the arrival
+// loop goroutine only — it owns the rng.
+func (g *generator) nextRequest() (method, path string, body []byte, stats *classStats) {
+	if g.rng.Float64() < g.ingestRatio {
+		type action struct {
+			User   int32    `json:"user"`
+			Item   int32    `json:"item"`
+			Rating float64  `json:"rating"`
+			Tags   []string `json:"tags"`
+		}
+		batch := struct {
+			Actions []action `json:"actions"`
+		}{Actions: []action{{
+			User:   int32(g.rng.Intn(g.shape.Users)),
+			Item:   int32(g.rng.Intn(g.shape.Items)),
+			Rating: float64(g.rng.Intn(10)) / 2,
+			Tags:   []string{ingestTags[g.rng.Intn(len(ingestTags))]},
+		}}}
+		body, _ = json.Marshal(batch)
+		return http.MethodPost, "/v1/actions", body, &g.ingest
+	}
+	q := g.queries[g.rng.Intn(len(g.queries))]
+	body, _ = json.Marshal(map[string]string{"query": q})
+	return http.MethodPost, "/v1/analyze", body, &g.analyze
+}
+
+func (g *generator) fire(method, path string, body []byte, stats *classStats) {
+	start := time.Now()
+	req, err := http.NewRequest(method, g.addr+path, bytes.NewReader(body))
+	if err != nil {
+		stats.record(0, 0, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		stats.record(0, 0, err)
+		return
+	}
+	// Drain so the connection is reusable; latency includes reading the
+	// full response, which is what a real client pays.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	//tagdm:allow-discard read-only response body, already drained
+	resp.Body.Close()
+	stats.record(time.Since(start), resp.StatusCode, nil)
+}

@@ -8,7 +8,7 @@
 //	            -user-attrs a,b -item-attrs c,d]
 //	            [-data-dir dir] [-fsync always|interval|none]
 //	            [-checkpoint-every N]
-//	            [-min-group-tuples 5] [-workers 4] [-queue 64]
+//	            [-min-group-tuples 5] [-workers 4] [-shards 1] [-queue 64]
 //	            [-cache 256] [-refresh-every 1] [-timeout 30s] [-seed 1]
 //	            [-max-ingest-bytes N] [-max-analyze-bytes N]
 //	            [-prewarm] [-access-log] [-slow-ms 0] [-debug-addr addr]
@@ -80,7 +80,8 @@ func main() {
 		fsyncMode    = flag.String("fsync", "always", "WAL fsync policy: always, interval, or none")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint after N WAL records (0 = default, negative disables)")
 		minTuples    = flag.Int("min-group-tuples", 5, "drop groups smaller than this")
-		workers      = flag.Int("workers", 4, "concurrent solver executions")
+		workers      = flag.Int("workers", 4, "concurrent solver executions per shard")
+		shards       = flag.Int("shards", 1, "snapshot replicas each analyze scatters across (1 = no sharding)")
 		queue        = flag.Int("queue", 64, "queued analyze requests beyond the running ones")
 		cacheSize    = flag.Int("cache", 256, "analyze result cache entries (0 disables)")
 		refreshEvery = flag.Int("refresh-every", 1, "publish a snapshot every N inserts")
@@ -117,6 +118,7 @@ func main() {
 		Dataset:         ds,
 		MinGroupTuples:  *minTuples,
 		Workers:         *workers,
+		Shards:          *shards,
 		QueueDepth:      *queue,
 		CacheSize:       cache,
 		RefreshEvery:    *refreshEvery,
@@ -157,8 +159,8 @@ func main() {
 		}
 	}
 	stats := srv.DatasetStats()
-	log.Printf("serving %d users, %d items, %d actions, %d-tag vocabulary on %s",
-		stats.Users, stats.Items, stats.Actions, stats.VocabSize, *addr)
+	log.Printf("serving %d users, %d items, %d actions, %d-tag vocabulary on %s (%d shard(s) x %d workers)",
+		stats.Users, stats.Items, stats.Actions, stats.VocabSize, *addr, *shards, *workers)
 	log.Printf("endpoints: POST /v1/analyze, POST /v1/actions, POST /v1/refresh, GET /v1/stats, GET /metrics")
 
 	// Serve until SIGINT/SIGTERM, then shut down in order: stop accepting,

@@ -14,6 +14,8 @@
 //     endpointLabel);
 //   - the range variable of a loop over a package-level var annotated
 //     `//tagdm:label-set` (or an index into one, as with familyStages);
+//   - an index into a `//tagdm:label-set` var (shardLabels[shard]): the
+//     declared set bounds the result no matter what the index is;
 //   - a local variable every assignment of which is itself label-safe.
 //
 // Everything else — struct fields, parameters, map lookups, arbitrary
@@ -236,6 +238,12 @@ func (s *safety) safeExpr(e ast.Expr) bool {
 	case *ast.CallExpr:
 		fn := s.pass.FuncFor(e)
 		return fn != nil && s.pass.Markers.FuncHas(fn, "label-sanitizer")
+	case *ast.IndexExpr:
+		// Indexing a label-set var yields one of its declared elements
+		// whatever the index expression evaluates to — the set itself
+		// bounds the cardinality (an out-of-range index panics, it never
+		// mints a new label).
+		return s.isLabelSetExpr(e)
 	}
 	return false
 }

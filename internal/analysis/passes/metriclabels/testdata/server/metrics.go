@@ -43,6 +43,12 @@ func record(reg *obs.Registry, algorithm string, stages []stage) {
 		}
 	}
 
+	// Indexing a label-set var directly is bounded by the declared set.
+	solves.With(families[len(stages)%len(families)]).Inc()
+
+	arbitrary := []string{algorithm}
+	solves.With(arbitrary[0]).Inc() // want `metric label "arbitrary\[0\]" is not a constant`
+
 	solves.With(algorithm).Inc() // want `metric label "algorithm" is not a constant`
 
 	for _, st := range stages {

@@ -70,40 +70,64 @@ type FDPOptions struct {
 // Cancellation: ctx is checked between greedy passes (floor sweep
 // entries, anchored starts) and between local-search rounds; a cancelled
 // run returns ctx.Err() with an empty result.
+//
+// Like Exact, this entry point is the single-shard case of the
+// shard-aware path (shard.go): the deterministic start-task list built by
+// dvfdpPlan is the unit of sharding, dvfdpPartial(shard 0 of 1) runs all
+// of it, and MergePartials folds the one partial into the Result.
 func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
-	name := "DV-FDP-Fi"
+	p, err := e.dvfdpPartial(ctx, spec, opts, 0, 1)
+	if err != nil {
+		return Result{Algorithm: dvfdpName(opts)}, err
+	}
+	return e.MergePartials(spec, []Partial{p}, start)
+}
+
+func dvfdpName(opts FDPOptions) string {
 	if opts.Mode == Fold {
-		name = "DV-FDP-Fo"
+		return "DV-FDP-Fo"
 	}
-	res := Result{Algorithm: name}
+	return "DV-FDP-Fi"
+}
+
+// dvfdpTask kinds: a floor-sweep greedy pass, the largest-k start, or an
+// anchored start seeded on the a-th largest group.
+const (
+	dvTaskPass = iota
+	dvTaskLargest
+	dvTaskAnchor
+)
+
+type dvfdpTask struct {
+	kind   int
+	floor  int // dvTaskPass: candidate size floor for this greedy pass
+	anchor int // dvTaskAnchor: index into the size-descending group order
+}
+
+// dvfdpPlan builds the deterministic start-task list for one solve: it
+// depends only on the spec, the options and the (replica-identical) group
+// universe, so every shard derives the same list and round-robins it by
+// task index. The list order is the serial execution order, which the
+// winner tie-break leans on.
+func (e *Engine) dvfdpPlan(spec ProblemSpec, opts FDPOptions) (tasks []dvfdpTask, k int) {
 	n := len(e.Groups)
-	if n == 0 {
-		e.finish(&res, spec, start)
-		return res, nil
+	k = spec.KHi
+	if k > n {
+		k = n
 	}
-
-	// The greedy "distance" is the weighted objective pair score, so that
-	// maximizing dispersion maximizes the objective. Pair values come from
-	// the engine's precomputed matrices; Precompute additionally collapses
-	// the weighted sum across objectives into one condensed matrix, trading
-	// n*(n-1)/2 float64 for a single lookup per pair.
-	mt := startStage(ctx, &res, StageMatrix)
-	scorer := e.scorer(spec)
-	dist := vec.DistFunc(scorer.pairObjective)
-	if opts.Precompute {
-		m := vec.NewMatrixParallel(n, dist, 0)
-		dist = m.At
+	// Filter mode stays faithful to the paper's DV-FDP-Fi: one
+	// unconstrained greedy run whose result is post-filtered — and may
+	// therefore be null, exactly as Section 5.2 warns.
+	if opts.Mode == Filter {
+		return []dvfdpTask{{kind: dvTaskPass}}, k
 	}
-	mt.end()
-	res.MatrixBuilds, res.MatrixHits = scorer.builds, scorer.hits
-
 	// Candidate size floors to try: 0 (the paper's algorithm as written,
-	// with the dynamic feasibility gate below) plus a small sweep of flat
-	// per-group floors derived from the support constraint. Different
+	// with the dynamic feasibility gate in dvfdpOnce) plus a small sweep of
+	// flat per-group floors derived from the support constraint. Different
 	// floors trade objective quality against support headroom; the best
 	// feasible outcome wins.
 	floors := []int{0}
@@ -124,70 +148,125 @@ func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (
 			}
 		}
 	}
-
-	k := spec.KHi
-	if k > n {
-		k = n
+	seen := map[int]bool{}
+	for _, floor := range floors {
+		if seen[floor] {
+			continue
+		}
+		seen[floor] = true
+		tasks = append(tasks, dvfdpTask{kind: dvTaskPass, floor: floor})
 	}
-	// Gather feasible starting sets. Filter mode stays faithful to the
-	// paper's DV-FDP-Fi: one unconstrained greedy run whose result is
-	// post-filtered — and may therefore be null, exactly as Section 5.2
-	// warns. Fold mode folds everything it can (constraint gates, support
-	// feasibility, floor sweep, support-first and anchored starts).
-	gt := startStage(ctx, &res, StageGreedy)
-	var starts [][]*groups.Group
-	if opts.Mode == Filter {
-		set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, 0)
-		res.CandidatesExamined += adds
-		if set != nil && scorer.feasible(scorer.idsOf(set)) {
-			starts = append(starts, set)
-		}
-	} else {
-		seen := map[int]bool{}
-		//tagdm:cancellable
-		for _, floor := range floors {
-			if seen[floor] {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				gt.end()
-				return Result{Algorithm: name}, err
-			}
-			seen[floor] = true
-			set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, floor)
-			res.CandidatesExamined += adds
-			if set != nil && scorer.feasible(scorer.idsOf(set)) {
-				starts = append(starts, set)
-			}
-		}
-	}
-	if opts.Mode == Fold && k >= 2 && k <= n {
-		bySize := make([]*groups.Group, 0, n)
-		bySize = append(bySize, e.Groups...)
-		sort.Slice(bySize, func(i, j int) bool { return bySize[i].Size() > bySize[j].Size() })
-		largest := bySize[:k]
-		if scorer.feasible(scorer.idsOf(largest)) {
-			starts = append(starts, largest)
-		}
-		// Anchored starts: seed on one large group and greedily complete
-		// the set with the partners maximizing the objective among those
-		// keeping the partial set feasible. These reach regions the
-		// dispersion seed never visits (e.g. "similar profiles, diverse
-		// tags" optima whose pairwise distances are mid-range).
+	if k >= 2 && k <= n {
+		tasks = append(tasks, dvfdpTask{kind: dvTaskLargest})
 		anchors := 6
-		if anchors > len(bySize) {
-			anchors = len(bySize)
+		if anchors > n {
+			anchors = n
 		}
-		//tagdm:cancellable
 		for a := 0; a < anchors; a++ {
+			tasks = append(tasks, dvfdpTask{kind: dvTaskAnchor, anchor: a})
+		}
+	}
+	return tasks, k
+}
+
+// groupsBySize returns the engine's groups sorted by descending size.
+// sort.Slice's outcome is deterministic for a fixed input ordering, and
+// replicas share the activation-order group list, so every shard sees the
+// same ranking.
+func (e *Engine) groupsBySize() []*groups.Group {
+	bySize := make([]*groups.Group, 0, len(e.Groups))
+	bySize = append(bySize, e.Groups...)
+	sort.Slice(bySize, func(i, j int) bool { return bySize[i].Size() > bySize[j].Size() })
+	return bySize
+}
+
+// dvfdpPartial runs this shard's slice of the start-task list — tasks t
+// with t % of == shard — and records the shard-local winner plus the task
+// index that produced it, so the merge can reproduce the serial strict->
+// scan over starts in task order.
+func (e *Engine) dvfdpPartial(ctx context.Context, spec ProblemSpec, opts FDPOptions, shard, of int) (Partial, error) {
+	if err := spec.Validate(); err != nil {
+		return Partial{}, err
+	}
+	if err := checkShard(shard, of); err != nil {
+		return Partial{}, err
+	}
+	name := dvfdpName(opts)
+	p := Partial{kind: kindDVFDP, algorithm: name, shard: shard, of: of, bestScore: -1.0, bestTask: -1}
+	n := len(e.Groups)
+	if n == 0 {
+		return p, nil
+	}
+
+	// The greedy "distance" is the weighted objective pair score, so that
+	// maximizing dispersion maximizes the objective. Pair values come from
+	// the engine's precomputed matrices; Precompute additionally collapses
+	// the weighted sum across objectives into one condensed matrix, trading
+	// n*(n-1)/2 float64 for a single lookup per pair.
+	mt := p.startStage(ctx, StageMatrix)
+	scorer := e.scorer(spec)
+	dist := vec.DistFunc(scorer.pairObjective)
+	if opts.Precompute {
+		m := vec.NewMatrixParallel(n, dist, 0)
+		dist = m.At
+	}
+	mt.end()
+	p.builds, p.hits = scorer.builds, scorer.hits
+
+	tasks, k := e.dvfdpPlan(spec, opts)
+
+	// Gather feasible starting sets from this shard's tasks; bySize is
+	// materialized lazily because only Fold-mode largest/anchored tasks
+	// consult it.
+	gt := p.startStage(ctx, StageGreedy)
+	var bySize []*groups.Group
+	type startSet struct {
+		task int
+		set  []*groups.Group
+	}
+	var starts []startSet
+	//tagdm:cancellable
+	for ti, task := range tasks {
+		if ti%of != shard {
+			continue
+		}
+		// Cancellation points mirror the pre-shard serial code exactly:
+		// Fold-mode floor passes and anchored starts poll ctx, the Filter
+		// pass and the largest-k feasibility probe do not.
+		if opts.Mode == Fold && task.kind != dvTaskLargest {
 			if err := ctx.Err(); err != nil {
 				gt.end()
-				return Result{Algorithm: name}, err
+				return Partial{}, err
 			}
-			set := e.anchoredStart(bySize[a], spec, scorer, dist, k)
-			res.CandidatesExamined += int64(len(set))
+		}
+		switch task.kind {
+		case dvTaskPass:
+			set, adds := e.dvfdpOnce(spec, opts, scorer, dist, k, task.floor)
+			p.examined += adds
 			if set != nil && scorer.feasible(scorer.idsOf(set)) {
-				starts = append(starts, set)
+				starts = append(starts, startSet{task: ti, set: set})
+			}
+		case dvTaskLargest:
+			if bySize == nil {
+				bySize = e.groupsBySize()
+			}
+			largest := bySize[:k]
+			if scorer.feasible(scorer.idsOf(largest)) {
+				starts = append(starts, startSet{task: ti, set: largest})
+			}
+		case dvTaskAnchor:
+			// Anchored starts: seed on one large group and greedily complete
+			// the set with the partners maximizing the objective among those
+			// keeping the partial set feasible. These reach regions the
+			// dispersion seed never visits (e.g. "similar profiles, diverse
+			// tags" optima whose pairwise distances are mid-range).
+			if bySize == nil {
+				bySize = e.groupsBySize()
+			}
+			set := e.anchoredStart(bySize[task.anchor], spec, scorer, dist, k)
+			p.examined += int64(len(set))
+			if set != nil && scorer.feasible(scorer.idsOf(set)) {
+				starts = append(starts, startSet{task: ti, set: set})
 			}
 		}
 	}
@@ -197,27 +276,27 @@ func (e *Engine) DVFDP(ctx context.Context, spec ProblemSpec, opts FDPOptions) (
 	// low-objective corner once the support gate starts binding. A swap
 	// local search from each feasible start recovers most of the gap to
 	// Exact at a small linear cost per round; the best outcome wins.
-	lt := startStage(ctx, &res, StageLocalSearch)
-	bestObjective := -1.0
-	for _, set := range starts {
+	lt := p.startStage(ctx, StageLocalSearch)
+	for _, st := range starts {
+		set := st.set
 		if !opts.DisableLocalSearch {
 			improved, swaps, err := e.localImprove(ctx, set, spec, scorer)
 			if err != nil {
 				lt.end()
-				return Result{Algorithm: name}, err
+				return Partial{}, err
 			}
 			set = improved
-			res.CandidatesExamined += swaps
+			p.examined += swaps
 		}
-		if score := scorer.objective(scorer.idsOf(set)); score > bestObjective {
-			bestObjective = score
-			res.Found = true
-			res.Groups = set
+		if score := scorer.objective(scorer.idsOf(set)); score > p.bestScore {
+			p.bestScore = score
+			p.found = true
+			p.best = set
+			p.bestTask = st.task
 		}
 	}
 	lt.end()
-	e.finish(&res, spec, start)
-	return res, nil
+	return p, nil
 }
 
 // localImprove repeatedly tries to swap one selected group for one

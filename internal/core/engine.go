@@ -275,13 +275,19 @@ type Stage struct {
 
 // addStage accumulates wall time under a stage name, merging repeats.
 func (r *Result) addStage(name string, d time.Duration) {
-	for i := range r.Stages {
-		if r.Stages[i].Name == name {
-			r.Stages[i].Wall += d
+	addStageTo(&r.Stages, name, d)
+}
+
+// addStageTo is the stage-folding shared by Result and shard Partials:
+// repeats merge into the first occurrence, so order reflects first entry.
+func addStageTo(stages *[]Stage, name string, d time.Duration) {
+	for i := range *stages {
+		if (*stages)[i].Name == name {
+			(*stages)[i].Wall += d
 			return
 		}
 	}
-	r.Stages = append(r.Stages, Stage{Name: name, Wall: d})
+	*stages = append(*stages, Stage{Name: name, Wall: d})
 }
 
 // StageWall returns the accumulated wall time of a named stage (0 when

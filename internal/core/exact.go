@@ -2,10 +2,7 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"tagdm/internal/groups"
@@ -66,6 +63,10 @@ type ExactOptions struct {
 // stops the enumeration within a bounded slice of work instead of
 // running to completion; the run then returns ctx.Err() with an empty
 // result. The per-leaf cost of the check is one integer increment.
+// Exact runs as the single-shard case of the shard-aware path (see
+// shard.go): ExactPartial(shard 0 of 1) explores the whole space and
+// MergePartials folds the one partial into the Result, so the serving
+// tier's scatter-gather and this entry point share one code path.
 func (e *Engine) Exact(ctx context.Context, spec ProblemSpec, opts ExactOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -74,57 +75,14 @@ func (e *Engine) Exact(ctx context.Context, spec ProblemSpec, opts ExactOptions)
 		return Result{}, err
 	}
 	start := time.Now()
-	n := len(e.Groups)
-	limit := opts.MaxCandidates
-	if limit <= 0 {
-		limit = DefaultMaxExactCandidates
-	}
-	var total int64
-	for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
-		c := binomial(n, k)
-		if c < 0 || total+c < 0 {
-			total = -1
-			break
+	p, err := e.ExactPartial(ctx, spec, opts, 0, 1)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && err == cerr {
+			return Result{Algorithm: "Exact"}, err
 		}
-		total += c
+		return Result{}, err
 	}
-	if total < 0 || total > limit {
-		return Result{}, fmt.Errorf(
-			"core: exact enumeration over %d groups (k in [%d,%d]) exceeds candidate cap %d",
-			n, spec.KLo, spec.KHi, limit)
-	}
-
-	// One scorer materializes (or fetches from the engine cache) the pair
-	// matrices behind the spec; workers share its immutable matrices and
-	// keep all mutable DFS state private.
-	res := Result{Algorithm: "Exact"}
-	mt := startStage(ctx, &res, StageMatrix)
-	sc := e.scorer(spec)
-	mt.end()
-	res.MatrixBuilds, res.MatrixHits = sc.builds, sc.hits
-
-	prune := !opts.DisablePruning
-	et := startStage(ctx, &res, StageEnumerate)
-	cancelled := false
-	if opts.Parallel {
-		cancelled = e.exactParallel(ctx, spec, sc, prune, &res)
-	} else {
-		w := newExactWorker(ctx, e, spec, sc, 0, prune)
-		for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
-			w.enumerate(0, k, 1)
-		}
-		cancelled = w.cancelled
-		res.CandidatesExamined = w.examined
-		res.CandidatesPruned = w.pruned
-		res.Found = w.found
-		res.Groups = w.best
-	}
-	et.end()
-	if cancelled {
-		return Result{Algorithm: res.Algorithm}, ctx.Err()
-	}
-	e.finish(&res, spec, start)
-	return res, nil
+	return e.MergePartials(spec, []Partial{p}, start)
 }
 
 // exactCancelCheck is how many leaves a worker visits between ctx polls
@@ -431,57 +389,6 @@ func (w *exactWorker) enumerate(startIdx, k, stride int) {
 		w.pop()
 	}
 }
-
-// exactParallel shards the outer loop across GOMAXPROCS workers and merges
-// deterministically: highest score wins, ties go to the candidate that the
-// serial enumeration would have met first (smaller size, then smaller
-// group IDs).
-func (e *Engine) exactParallel(ctx context.Context, spec ProblemSpec, sc *matrixScorer, prune bool, res *Result) (cancelled bool) {
-	n := len(e.Groups)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if prune {
-		// Build the shared bound vectors once, before the fan-out, so the
-		// workers' racing first reads don't each scan the matrices.
-		sc.objectiveBounds()
-	}
-	results := make([]*exactWorker, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w := newExactWorker(ctx, e, spec, sc, wi, prune)
-			results[wi] = w
-			for k := spec.KLo; k <= spec.KHi && k <= n; k++ {
-				w.enumerate(0, k, workers)
-			}
-		}(wi)
-	}
-	wg.Wait()
-	for _, w := range results {
-		cancelled = cancelled || w.cancelled
-		res.CandidatesExamined += w.examined
-		res.CandidatesPruned += w.pruned
-		if !w.found {
-			continue
-		}
-		if !res.Found || w.bestScore > resScore(res) ||
-			(w.bestScore == resScore(res) && lessCandidate(w.best, res.Groups)) {
-			res.Found = true
-			res.Groups = append([]*groups.Group(nil), w.best...)
-			res.Objective = w.bestScore
-		}
-	}
-	return cancelled
-}
-
-func resScore(r *Result) float64 { return r.Objective }
 
 // lessCandidate orders candidate sets the way the serial enumeration meets
 // them: by size, then lexicographically by group ID.

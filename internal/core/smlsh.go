@@ -80,6 +80,12 @@ func (o LSHOptions) withDefaults() LSHOptions {
 // Cancellation: ctx is checked once per relaxation round (each round is
 // one LSH build plus one full bucket scan, the unit of work here); a
 // cancelled run returns ctx.Err() with an empty result.
+//
+// Like the other families, this entry point is the single-shard case of
+// the shard-aware path (shard.go): the relaxation d' sequence and each
+// round's sorted bucket list are deterministic, so smlshPartial(shard 0
+// of 1) scans everything and MergePartials folds the one partial into the
+// Result.
 func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
@@ -87,21 +93,53 @@ func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (
 	if !spec.OptimizesSimilarityOnly() {
 		return Result{}, fmt.Errorf("core: SM-LSH requires similarity objectives; got %v", spec.Objectives)
 	}
-	opts = opts.withDefaults()
 	start := time.Now()
-	name := "SM-LSH-Fi"
-	if opts.Mode == Fold {
-		name = "SM-LSH-Fo"
+	p, err := e.smlshPartial(ctx, spec, opts, 0, 1)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && err == cerr {
+			return Result{Algorithm: smlshName(opts)}, err
+		}
+		return Result{}, err
 	}
-	res := Result{Algorithm: name}
+	return e.MergePartials(spec, []Partial{p}, start)
+}
+
+func smlshName(opts LSHOptions) string {
+	if opts.Mode == Fold {
+		return "SM-LSH-Fo"
+	}
+	return "SM-LSH-Fi"
+}
+
+// smlshPartial runs the relaxation loop scanning only this shard's slice
+// of each round's deterministically sorted bucket list. Every shard builds
+// the same seeded index per round (replica vectors are identical), so the
+// bucket lists agree; a shard breaks at its own first multi-group round
+// and records per-round examined counts so the merge can discard rounds
+// the serial run would never have reached.
+func (e *Engine) smlshPartial(ctx context.Context, spec ProblemSpec, opts LSHOptions, shard, of int) (Partial, error) {
+	if err := spec.Validate(); err != nil {
+		return Partial{}, err
+	}
+	if !spec.OptimizesSimilarityOnly() {
+		return Partial{}, fmt.Errorf("core: SM-LSH requires similarity objectives; got %v", spec.Objectives)
+	}
+	if err := checkShard(shard, of); err != nil {
+		return Partial{}, err
+	}
+	opts = opts.withDefaults()
+	p := Partial{
+		kind: kindSMLSH, algorithm: smlshName(opts), shard: shard, of: of,
+		bestTask: -1, multiRound: -1, multiBucket: -1, singleRound: -1, singleBucket: -1,
+	}
 
 	// One matrix-backed scorer serves every relaxation round: bucket
 	// feasibility and ranking read precomputed pair values.
-	mt := startStage(ctx, &res, StageMatrix)
+	mt := p.startStage(ctx, StageMatrix)
 	scorer := e.scorer(spec)
 	mt.end()
-	res.MatrixBuilds, res.MatrixHits = scorer.builds, scorer.hits
-	ht := startStage(ctx, &res, StageLSHBuild)
+	p.builds, p.hits = scorer.builds, scorer.hits
+	ht := p.startStage(ctx, StageLSHBuild)
 	vectors := e.hashVectors(spec, opts.Mode)
 	ht.end()
 
@@ -114,29 +152,34 @@ func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (
 	// back to the best singleton when relaxation is exhausted.
 	lo, hi := 1, opts.DPrime
 	dprime := opts.DPrime
-	var fallback []*groups.Group
+	round := 0
 	//tagdm:cancellable
 	for {
 		if err := ctx.Err(); err != nil {
-			return Result{Algorithm: name}, err
+			return Partial{}, err
 		}
-		bt := startStage(ctx, &res, StageLSHBuild)
+		bt := p.startStage(ctx, StageLSHBuild)
 		idx, err := lsh.Build(vectors, lsh.Params{DPrime: dprime, L: opts.L, Seed: opts.Seed})
 		bt.end()
 		if err != nil {
-			return Result{}, err
+			return Partial{}, err
 		}
-		st := startStage(ctx, &res, StageBucketScan)
-		found, single, examined := e.bestBucket(idx, spec, opts, scorer)
+		st := p.startStage(ctx, StageBucketScan)
+		scan := e.scanBuckets(idx, spec, opts, scorer, shard, of)
 		st.end()
-		res.CandidatesExamined += examined
-		if found != nil {
-			res.Found = true
-			res.Groups = found
+		p.roundExam = append(p.roundExam, scan.examined)
+		if scan.multi != nil {
+			p.multiRound = round
+			p.multiScore = scan.multiScore
+			p.multiBucket = scan.multiBucket
+			p.multi = scan.multi
 			break
 		}
-		if single != nil && fallback == nil {
-			fallback = single
+		if scan.single != nil && p.single == nil {
+			p.singleRound = round
+			p.singleSize = scan.singleSize
+			p.singleBucket = scan.singleBucket
+			p.single = scan.single
 		}
 		if opts.DisableRelaxation {
 			break
@@ -146,13 +189,9 @@ func (e *Engine) SMLSH(ctx context.Context, spec ProblemSpec, opts LSHOptions) (
 			break
 		}
 		dprime = (lo + hi) / 2
+		round++
 	}
-	if !res.Found && fallback != nil {
-		res.Found = true
-		res.Groups = fallback
-	}
-	e.finish(&res, spec, start)
-	return res, nil
+	return p, nil
 }
 
 // hashVectors builds the per-group vectors to hash. In Filter mode the
@@ -211,11 +250,27 @@ func (e *Engine) hashVectors(spec ProblemSpec, mode ConstraintMode) [][]float64 
 	return vectors
 }
 
-// bestBucket scans every bucket of the index, keeps those whose group count
-// fits [KLo, KHi] (trimming oversized buckets unless strict), checks
-// feasibility, ranks by objective score, and returns the best multi-group
-// set plus the best feasible singleton (both nil when none qualify).
-func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions, sc *matrixScorer) (multi, single []*groups.Group, examined int64) {
+// bucketScan is one round's shard-local outcome: the best multi-group set
+// (with its score and position in the sorted bucket list, for cross-shard
+// tie-breaking), the best feasible singleton (with its size and position),
+// and how many buckets this shard examined.
+type bucketScan struct {
+	multi        []*groups.Group
+	multiScore   float64
+	multiBucket  int
+	single       []*groups.Group
+	singleSize   int
+	singleBucket int
+	examined     int64
+}
+
+// scanBuckets scans this shard's slice of the index's buckets — positions
+// congruent to shard mod of in the deterministically sorted bucket list —
+// keeps those whose group count fits [KLo, KHi] (trimming oversized
+// buckets unless strict), checks feasibility, and ranks by objective
+// score. (Table, Signature) keys are unique, so the sort is a total order
+// every shard agrees on.
+func (e *Engine) scanBuckets(idx *lsh.Index, spec ProblemSpec, opts LSHOptions, sc *matrixScorer, shard, of int) bucketScan {
 	buckets := idx.Buckets()
 	// Deterministic processing order regardless of map iteration.
 	sort.Slice(buckets, func(i, j int) bool {
@@ -224,10 +279,12 @@ func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions, s
 		}
 		return buckets[i].Signature < buckets[j].Signature
 	})
-	bestScore := -1.0
-	var bestSingleSize int
-	for _, b := range buckets {
-		examined++
+	out := bucketScan{multiScore: -1.0, multiBucket: -1, singleBucket: -1}
+	for bi, b := range buckets {
+		if of > 1 && bi%of != shard {
+			continue
+		}
+		out.examined++
 		if len(b.IDs) < spec.KLo {
 			continue
 		}
@@ -251,18 +308,20 @@ func (e *Engine) bestBucket(idx *lsh.Index, spec ProblemSpec, opts LSHOptions, s
 			set[i] = e.Groups[id]
 		}
 		if len(set) == 1 {
-			if set[0].Size() > bestSingleSize {
-				bestSingleSize = set[0].Size()
-				single = set
+			if set[0].Size() > out.singleSize {
+				out.singleSize = set[0].Size()
+				out.single = set
+				out.singleBucket = bi
 			}
 			continue
 		}
-		if score := sc.objective(ids); score > bestScore {
-			bestScore = score
-			multi = set
+		if score := sc.objective(ids); score > out.multiScore {
+			out.multiScore = score
+			out.multi = set
+			out.multiBucket = bi
 		}
 	}
-	return multi, single, examined
+	return out
 }
 
 // trimBucket reduces an oversized bucket to KHi members by greedy objective

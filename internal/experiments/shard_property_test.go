@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tagdm/internal/core"
+)
+
+// This file extends the randomized property harness to the scatter-gather
+// sharding layer: on every seeded random corpus and spec, solving as N
+// independent shard partials merged with MergePartials must be
+// byte-identical to one serial solve, for all three solver families. The
+// shards partition the search space, so candidate accounting must stay a
+// partition: Exact's examined + pruned must sum to the full enumeration
+// (the serial total), and the approximate families must examine exactly the
+// serial candidate count across shards — nothing skipped, nothing counted
+// twice.
+
+var shardCounts = []int{2, 3, 5}
+
+func TestShardedSolveMatchesSerialRandomCorpora(t *testing.T) {
+	ctx := context.Background()
+	opts := core.SolveOptions{
+		LSH: core.LSHOptions{DPrime: 6, L: 2, Seed: 9, Mode: core.Fold},
+		FDP: core.FDPOptions{Mode: core.Fold},
+	}
+	for _, c := range propCorpora(t) {
+		rng := rand.New(rand.NewSource(c.seed + 7))
+		specs := c.propSpecs(rng)
+		serial := c.engine(t, "dense")
+		for _, of := range shardCounts {
+			// Each shard gets its own engine over the same corpus and pair
+			// tables, mirroring the server's snapshot replicas (pair-func
+			// overrides are per engine, so each replica re-installs them).
+			engines := make([]*core.Engine, of)
+			for i := range engines {
+				engines[i] = c.engine(t, "dense")
+			}
+			for _, spec := range specs {
+				label := fmt.Sprintf("u=%d d=%g of=%d %s", c.universe, c.density, of, spec.Name)
+
+				want, err := serial.Solve(ctx, spec, opts)
+				if err != nil {
+					t.Fatalf("%s: serial solve: %v", label, err)
+				}
+				got, err := core.SolveSharded(ctx, engines, spec, opts)
+				if err != nil {
+					t.Fatalf("%s: sharded solve: %v", label, err)
+				}
+				if want.Algorithm != got.Algorithm {
+					t.Fatalf("%s: dispatched to %s vs %s", label, got.Algorithm, want.Algorithm)
+				}
+				assertByteIdentical(t, label+"/"+want.Algorithm, want, got)
+				if want.CandidatesExamined != got.CandidatesExamined {
+					t.Fatalf("%s/%s: sharded examined %d, serial %d — shards did not partition the candidate space",
+						label, want.Algorithm, got.CandidatesExamined, want.CandidatesExamined)
+				}
+				if got.CandidatesPruned != 0 {
+					t.Fatalf("%s/%s: approximate family reported %d pruned", label, want.Algorithm, got.CandidatesPruned)
+				}
+
+				wantX, err := serial.Exact(ctx, spec, core.ExactOptions{})
+				if err != nil {
+					t.Fatalf("%s: serial exact: %v", label, err)
+				}
+				gotX, err := core.ExactSharded(ctx, engines, spec, core.ExactOptions{})
+				if err != nil {
+					t.Fatalf("%s: sharded exact: %v", label, err)
+				}
+				assertByteIdentical(t, label+"/Exact", wantX, gotX)
+				// Pruning decisions legitimately differ per shard (each
+				// carries its own incumbent), but examined + pruned must
+				// still sum to the full enumeration either way.
+				wantTotal := wantX.CandidatesExamined + wantX.CandidatesPruned
+				gotTotal := gotX.CandidatesExamined + gotX.CandidatesPruned
+				if wantTotal != gotTotal {
+					t.Fatalf("%s/Exact: sharded examined %d + pruned %d = %d, serial enumeration %d",
+						label, gotX.CandidatesExamined, gotX.CandidatesPruned, gotTotal, wantTotal)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExactParallelWithinShards layers the two parallelism levels:
+// each shard's partial itself fanning out over goroutines (the pre-sharding
+// Exact parallel path) must not disturb the merged answer or the
+// candidate-accounting partition.
+func TestShardedExactParallelWithinShards(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range propCorpora(t) {
+		rng := rand.New(rand.NewSource(c.seed + 7))
+		specs := c.propSpecs(rng)
+		serial := c.engine(t, "dense")
+		engines := []*core.Engine{c.engine(t, "dense"), c.engine(t, "dense")}
+		for _, spec := range specs {
+			label := fmt.Sprintf("u=%d d=%g %s parallel-in-shard", c.universe, c.density, spec.Name)
+			want, err := serial.Exact(ctx, spec, core.ExactOptions{})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			got, err := core.ExactSharded(ctx, engines, spec, core.ExactOptions{Parallel: true})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertByteIdentical(t, label, want, got)
+			wantTotal := want.CandidatesExamined + want.CandidatesPruned
+			gotTotal := got.CandidatesExamined + got.CandidatesPruned
+			if wantTotal != gotTotal {
+				t.Fatalf("%s: examined+pruned %d, serial enumeration %d", label, gotTotal, wantTotal)
+			}
+		}
+	}
+}

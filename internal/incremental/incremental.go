@@ -330,6 +330,43 @@ func (m *Maintainer) Snapshot() (*Snapshot, error) {
 	}, nil
 }
 
+// Replicate deep-copies a frozen Snapshot into an independent replica:
+// same Version and VocabSize, structurally identical store, groups and
+// signatures, but a fresh engine whose pair-matrix cache and scorer
+// scratch are private. Per-shard serving solves against one replica per
+// shard so concurrent shard solves share nothing mutable, and identical
+// inputs make the replicas' pair matrices bit-identical — the property
+// sharded merges rely on. The receiver is already frozen, so unlike
+// Maintainer.Snapshot this runs outside the writer lock; the publish path
+// takes one Snapshot under the lock and fans replicas out afterwards.
+// Engine-level pair-function overrides (SetPairFunc) are not carried over;
+// callers that install them must re-install on each replica.
+func (s *Snapshot) Replicate() (*Snapshot, error) {
+	st := s.Store.Clone()
+	st.Optimize()
+	gs := make([]*groups.Group, len(s.Groups))
+	for i, g := range s.Groups {
+		gs[i] = &groups.Group{
+			ID:      g.ID,
+			Pred:    g.Pred, // terms are immutable once built
+			Tuples:  g.Tuples.Clone().Optimize(),
+			Members: append([]int(nil), g.Members...),
+		}
+	}
+	sigs := append([]signature.Signature(nil), s.Engine.Sigs...)
+	eng, err := core.NewEngine(st, gs, sigs)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Engine:    eng,
+		Store:     st,
+		Groups:    gs,
+		Version:   s.Version,
+		VocabSize: s.VocabSize,
+	}, nil
+}
+
 // Store exposes the underlying store (read-only use).
 func (m *Maintainer) Store() *store.Store { return m.store }
 

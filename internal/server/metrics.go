@@ -101,6 +101,19 @@ func endpointLabel(path string) string {
 //tagdm:label-set
 var endpointLabels = []string{"analyze", "actions", "refresh", "stats", "metrics", "healthz", "other"}
 
+// shardLabels bounds the per-shard label space: Config.Shards is clamped to
+// len(shardLabels) at construction, and scatter code labels series by
+// indexing this set with the shard number, so shard series can never grow
+// past it no matter what configuration arrives.
+//
+//tagdm:label-set
+var shardLabels = []string{
+	"0", "1", "2", "3", "4", "5", "6", "7",
+	"8", "9", "10", "11", "12", "13", "14", "15",
+	"16", "17", "18", "19", "20", "21", "22", "23",
+	"24", "25", "26", "27", "28", "29", "30", "31",
+}
+
 // metrics is the server's obs.Registry plus handles to every series the
 // hot paths touch. /v1/stats reads the exact same atomics that /metrics
 // renders (via the Value/Count/Sum accessors), so the two views cannot
@@ -134,6 +147,9 @@ type metrics struct {
 	solveLatency *obs.HistogramVec // {family}: end-to-end analyze execution
 	solveStage   *obs.HistogramVec // {family,stage}: per-phase solver wall time
 
+	shardSolves       *obs.CounterVec   // {shard}: partial solves gathered per shard
+	shardSolveSeconds *obs.HistogramVec // {shard}: per-shard partial solve wall time
+
 	// Durability series. Counters stay zero when the server runs without a
 	// data dir; the gauges (registered in registerGauges) read the WAL's
 	// own counters at render time.
@@ -148,7 +164,9 @@ type metrics struct {
 	degradations     *obs.Counter
 }
 
-func newMetrics() *metrics {
+// newMetrics builds the registry; shards is the configured serving fan-out
+// and pre-materializes that many per-shard series.
+func newMetrics(shards int) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		started: time.Now(),
@@ -203,6 +221,12 @@ func newMetrics() *metrics {
 			"Per-stage solver wall time in seconds, by family and stage.",
 			obs.DefaultLatencyBuckets(), "family", "stage"),
 
+		shardSolves: reg.CounterVec("tagdm_shard_solves_total",
+			"Partial solves gathered from each shard of a scattered analyze.", "shard"),
+		shardSolveSeconds: reg.HistogramVec("tagdm_shard_solve_seconds",
+			"Per-shard partial solve wall time in seconds (scoping included).",
+			obs.DefaultLatencyBuckets(), "shard"),
+
 		walAppends: reg.Counter("tagdm_wal_appends_total",
 			"Ingest batches durably appended to the write-ahead log."),
 		walAppendBytes: reg.Counter("tagdm_wal_append_bytes_total",
@@ -242,6 +266,10 @@ func newMetrics() *metrics {
 			m.solveStage.With(fam, stage)
 		}
 	}
+	for si := 0; si < shards && si < len(shardLabels); si++ {
+		m.shardSolves.With(shardLabels[si])
+		m.shardSolveSeconds.With(shardLabels[si])
+	}
 	return m
 }
 
@@ -250,32 +278,35 @@ func newMetrics() *metrics {
 // New, after the initial snapshot is published.
 func (m *metrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("tagdm_snapshot_epoch",
-		"Epoch of the currently published engine snapshot.",
-		func() float64 { return float64(s.snap.Load().Version) })
+		"Epoch of the currently published engine snapshot set.",
+		func() float64 { return float64(s.shards.Load().epoch) })
 	m.reg.GaugeFunc("tagdm_store_actions",
 		"Tagging actions in the published snapshot.",
-		func() float64 { return float64(s.snap.Load().Store.Len()) })
+		func() float64 { return float64(s.shards.Load().primary().Store.Len()) })
 	m.reg.GaugeFunc("tagdm_groups",
 		"Describable groups in the published snapshot.",
-		func() float64 { return float64(len(s.snap.Load().Groups)) })
+		func() float64 { return float64(len(s.shards.Load().primary().Groups)) })
 	m.reg.GaugeFunc("tagdm_vocab_size",
 		"Tag vocabulary size of the published snapshot.",
-		func() float64 { return float64(s.snap.Load().Store.Vocab.Size()) })
+		func() float64 { return float64(s.shards.Load().primary().Store.Vocab.Size()) })
 	m.reg.GaugeFunc("tagdm_postings_lists",
 		"Posting lists in the published snapshot.",
-		func() float64 { lists, _ := s.snap.Load().Store.CompressionStats(); return float64(lists) })
+		func() float64 { lists, _ := s.shards.Load().primary().Store.CompressionStats(); return float64(lists) })
 	m.reg.GaugeFunc("tagdm_postings_compressed",
 		"Posting lists using the container-compressed layout.",
-		func() float64 { _, comp := s.snap.Load().Store.CompressionStats(); return float64(comp) })
+		func() float64 { _, comp := s.shards.Load().primary().Store.CompressionStats(); return float64(comp) })
 	m.reg.GaugeFunc("tagdm_cache_size",
 		"Entries in the analyze result cache.",
 		func() float64 { size, _ := s.cache.stats(); return float64(size) })
+	m.reg.GaugeFunc("tagdm_shards",
+		"Serving-tier shard count: snapshot replicas each analyze scatters across.",
+		func() float64 { return float64(s.cfg.Shards) })
 	m.reg.GaugeFunc("tagdm_queue_depth",
-		"Queued (not yet running) analyze jobs.",
-		func() float64 { return float64(s.pool.depth()) })
+		"Queued (not yet running) solve jobs summed across shard pools.",
+		func() float64 { return float64(s.queuedJobs()) })
 	m.reg.GaugeFunc("tagdm_pool_workers",
-		"Solver worker goroutines.",
-		func() float64 { return float64(s.cfg.Workers) })
+		"Solver worker goroutines across all shard pools.",
+		func() float64 { return float64(s.cfg.Workers * s.cfg.Shards) })
 	m.reg.GaugeFunc("tagdm_uptime_seconds",
 		"Seconds since server construction.",
 		func() float64 { return time.Since(m.started).Seconds() })
@@ -315,9 +346,10 @@ func (m *metrics) registerGauges(s *Server) {
 		func() float64 { return float64(s.ckptLastEpoch.Load()) })
 }
 
-// recordSolve folds one core.Result into the per-family counters and the
-// per-stage histograms. solverWall is the eng.Solve call alone; total is
-// the whole runAnalyze execution (scoping and encoding included).
+// recordSolve folds one merged core.Result into the per-family counters
+// and the per-stage histograms. solverWall is the solver critical path (the
+// slowest shard's partial solve); total is the whole scatter-gather
+// execution (scoping and merging included).
 func (m *metrics) recordSolve(res core.Result, solverWall, total time.Duration) {
 	fam := familyOf(res.Algorithm)
 	m.solves.With(fam).Inc()

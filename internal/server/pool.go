@@ -17,34 +17,43 @@ var errClosed = errors.New("server: pool closed")
 // would let a traffic burst grind every request to a halt; a fixed worker
 // count plus a bounded queue gives the server a predictable concurrency
 // envelope and lets it shed load explicitly instead of collapsing.
-type pool struct {
-	queue   chan *poolJob
+//
+// The server runs one pool per shard: an analyze submits one partial-solve
+// job to every shard's pool and gathers the results, so Workers bounds the
+// concurrent solves per shard and every request draws one worker from each
+// pool. Jobs on different pools never wait on each other, so the
+// per-request fan-out cannot deadlock — only skew.
+type pool[T any] struct {
+	queue   chan *poolJob[T]
 	workers int
 	wg      sync.WaitGroup
 	once    sync.Once
 
-	// mu makes do/close safe to race: close takes the write lock to flip
-	// closed before closing the queue, so no sender can hit a closed
-	// channel (senders hold the read lock).
+	// mu makes submit/close safe to race: close takes the write lock to
+	// flip closed before closing the queue, so no sender can hit a closed
+	// channel (senders hold the read lock and only ever perform the
+	// non-blocking enqueue under it).
+	//
+	//tagdm:mutex nonblocking
 	mu     sync.RWMutex
 	closed bool
 }
 
-type poolJob struct {
+type poolJob[T any] struct {
 	ctx  context.Context
-	fn   func(context.Context) (*analyzeResponse, error)
-	done chan poolResult
+	fn   func(context.Context) (T, error)
+	done chan poolResult[T]
 }
 
-type poolResult struct {
-	val *analyzeResponse
+type poolResult[T any] struct {
+	val T
 	err error
 }
 
 // newPool starts workers goroutines consuming a queue of at most depth
 // pending jobs.
-func newPool(workers, depth int) *pool {
-	p := &pool{queue: make(chan *poolJob, depth), workers: workers}
+func newPool[T any](workers, depth int) *pool[T] {
+	p := &pool[T]{queue: make(chan *poolJob[T], depth), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -52,51 +61,49 @@ func newPool(workers, depth int) *pool {
 	return p
 }
 
-func (p *pool) worker() {
+func (p *pool[T]) worker() {
 	defer p.wg.Done()
 	for job := range p.queue {
 		if job.ctx.Err() != nil {
-			job.done <- poolResult{err: job.ctx.Err()}
+			// The request was cancelled while the job sat in the queue
+			// (timeout, client gone, or a sibling shard's failure fanned
+			// out); don't burn a worker on dead work.
+			job.done <- poolResult[T]{err: job.ctx.Err()}
 			continue
 		}
 		val, err := job.fn(job.ctx)
-		job.done <- poolResult{val: val, err: err}
+		job.done <- poolResult[T]{val: val, err: err}
 	}
 }
 
-// do runs fn on a worker and waits for the result or the context. A full
-// queue fails fast with errBusy. When the context expires first, do returns
-// its error immediately; the worker's fn receives the same context, so a
-// cancellation-aware solve stops shortly after instead of running to
-// completion with the result dropped.
-func (p *pool) do(ctx context.Context, fn func(context.Context) (*analyzeResponse, error)) (*analyzeResponse, error) {
-	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+// submit enqueues fn without waiting for its result; the worker delivers
+// exactly one poolResult to done. A full queue fails fast with errBusy and
+// delivers nothing. done must have capacity for every job sharing it (the
+// scatter uses one channel with capacity = shard count), so worker sends
+// never block and an abandoned gather cannot strand a worker.
+func (p *pool[T]) submit(ctx context.Context, done chan poolResult[T], fn func(context.Context) (T, error)) error {
+	job := &poolJob[T]{ctx: ctx, fn: fn, done: done}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
-		return nil, errClosed
+		return errClosed
 	}
 	select {
 	case p.queue <- job:
 		p.mu.RUnlock()
+		return nil
 	default:
 		p.mu.RUnlock()
-		return nil, errBusy
-	}
-	select {
-	case res := <-job.done:
-		return res.val, res.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		return errBusy
 	}
 }
 
 // depth is the number of queued (not yet running) jobs.
-func (p *pool) depth() int { return len(p.queue) }
+func (p *pool[T]) depth() int { return len(p.queue) }
 
 // close stops the workers after draining queued jobs. Safe to call twice
-// and safe to race with do (late submissions get errClosed).
-func (p *pool) close() {
+// and safe to race with submit (late submissions get errClosed).
+func (p *pool[T]) close() {
 	p.once.Do(func() {
 		p.mu.Lock()
 		p.closed = true

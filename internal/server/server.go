@@ -28,6 +28,14 @@
 // fresh engine (and thus fresh matrices) consistent with the new data;
 // Config.PrewarmMatrices moves the build from the first query to publish
 // time for predictable tail latencies.
+//
+// With Config.Shards > 1 the published view becomes a set of snapshot
+// replicas at one epoch, and each analyze scatters one partial solve per
+// shard onto per-shard worker pools, merging the partials into exactly the
+// answer a single serial solve would return (see shard.go and
+// core.SolvePartial). Sharding is purely a serving-tier degree of
+// parallelism: the WAL, checkpoints, and ingest path are shard-agnostic,
+// so a durable data dir can be rebooted under any shard count.
 package server
 
 import (
@@ -63,8 +71,14 @@ type Config struct {
 	// MinGroupTuples drops groups smaller than this (default 5, as in the
 	// paper).
 	MinGroupTuples int
-	// Workers bounds concurrent solver executions (default 4).
+	// Workers bounds concurrent solver executions per shard (default 4).
 	Workers int
+	// Shards is the number of snapshot replicas the serving tier fans each
+	// analyze across (default 1: the classic single-solve path). Each shard
+	// gets its own worker pool and solves a deterministic slice of the
+	// search space; answers are byte-identical at every shard count.
+	// Clamped to len(shardLabels) so per-shard metric series stay bounded.
+	Shards int
 	// QueueDepth bounds queued analyze requests beyond the running ones;
 	// excess requests get 429 (default 64).
 	QueueDepth int
@@ -135,6 +149,12 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > len(shardLabels) {
+		c.Shards = len(shardLabels)
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
@@ -188,15 +208,18 @@ type Server struct {
 	ds    *model.Dataset
 	maint *incremental.Maintainer
 
-	// snap is the published read view; analyze handlers only ever touch
-	// this, never the maintainer.
-	snap atomic.Pointer[incremental.Snapshot]
+	// shards is the published read view — one snapshot replica per shard,
+	// all at the same epoch; analyze handlers only ever touch this, never
+	// the maintainer.
+	shards atomic.Pointer[shardSet]
 	// unpublished counts inserts since the last published snapshot
 	// (guarded by mu).
 	unpublished int
 
-	cache   *resultCache
-	pool    *pool
+	cache *resultCache
+	// pools holds one bounded worker pool per shard; a scattered analyze
+	// submits one partial-solve job to each.
+	pools   []*pool[*shardOutcome]
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -222,17 +245,21 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
-		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Shards),
+	}
+	s.pools = make([]*pool[*shardOutcome], cfg.Shards)
+	for i := range s.pools {
+		s.pools[i] = newPool[*shardOutcome](cfg.Workers, cfg.QueueDepth)
 	}
 	if cfg.DataDir == "" {
 		if cfg.Dataset == nil {
+			s.closePools()
 			return nil, fmt.Errorf("server: Config.Dataset is required (may be empty, not nil)")
 		}
 		sum := signature.FrequencyOfSize(cfg.Dataset.Vocab.Size())
 		maint, err := incremental.New(cfg.Dataset, cfg.MinGroupTuples, sum)
 		if err != nil {
-			s.pool.close()
+			s.closePools()
 			return nil, err
 		}
 		s.ds, s.maint = cfg.Dataset, maint
@@ -242,12 +269,12 @@ func New(cfg Config) (*Server, error) {
 		err := s.openDurable(boot)
 		boot.End()
 		if err != nil {
-			s.pool.close()
+			s.closePools()
 			return nil, err
 		}
 	}
-	if err := s.publishLocked(); err != nil {
-		s.pool.close()
+	if err := s.publish(); err != nil {
+		s.closePools()
 		if s.dur != nil {
 			//tagdm:allow-discard boot already failing; the open error is the one worth surfacing
 			s.dur.log.Close()
@@ -327,7 +354,7 @@ func (w *statusWriter) statusCode() int {
 // WAL (flushing pending appends) without writing a final checkpoint. Use
 // Shutdown for a clean exit that checkpoints first.
 func (s *Server) Close() {
-	s.pool.close()
+	s.closePools()
 	if s.dur != nil {
 		//tagdm:allow-discard Close has no error path to report into; Shutdown is the checked exit
 		_ = s.dur.log.Close()
@@ -341,7 +368,7 @@ func (s *Server) Close() {
 // logging; the
 // checkpoint itself is not interruptible.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.pool.close()
+	s.closePools()
 	if s.dur == nil {
 		return nil
 	}
@@ -358,8 +385,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Recovery reports what a durable boot found on disk.
 func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
-// Epoch returns the epoch of the currently published snapshot.
-func (s *Server) Epoch() int64 { return s.snap.Load().Version }
+// Epoch returns the epoch of the currently published snapshot set.
+func (s *Server) Epoch() int64 { return s.shards.Load().epoch }
+
+// closePools stops every shard pool after draining queued solves.
+func (s *Server) closePools() {
+	for _, p := range s.pools {
+		p.close()
+	}
+}
+
+// queuedJobs sums queued (not yet running) solve jobs across shard pools.
+func (s *Server) queuedJobs() int {
+	total := 0
+	for _, p := range s.pools {
+		total += p.depth()
+	}
+	return total
+}
 
 // DatasetStats summarizes the corpus the server booted with (including
 // recovered state on a durable boot). Entity counts stay current as ingest
@@ -371,35 +414,31 @@ func (s *Server) DatasetStats() model.Stats {
 	return s.ds.Stats()
 }
 
-// publishLocked takes a fresh snapshot of the maintainer and swaps it in.
-// Callers hold s.mu (or are inside New, before the server is shared).
-func (s *Server) publishLocked() error {
-	snap, err := s.maint.Snapshot()
-	if err != nil {
-		return err
-	}
-	s.snap.Store(snap)
-	s.unpublished = 0
-	s.metrics.snapshots.Inc()
-	return nil
-}
-
-// prewarm builds every (dimension, measure) pair matrix of the currently
-// published snapshot. Callers invoke it after releasing s.mu: an O(n^2)
-// build per binding must never stall the write path, and the engine's own
-// matrix cache already makes racing analyzes share whatever is built. The
-// publishing request waits for the build (that is the prewarm contract —
-// publish pays so analyzes don't), while other ingests proceed.
+// prewarm builds every (dimension, measure) pair matrix of every published
+// shard replica, one goroutine per shard. Callers invoke it after releasing
+// s.mu: an O(n^2) build per binding must never stall the write path, and
+// each engine's own matrix cache already makes racing analyzes share
+// whatever is built. The publishing request waits for the build (that is
+// the prewarm contract — publish pays so analyzes don't), while other
+// ingests proceed.
 func (s *Server) prewarm() {
 	if !s.cfg.PrewarmMatrices {
 		return
 	}
-	eng := s.snap.Load().Engine
-	for _, dim := range []mining.Dimension{mining.Users, mining.Items, mining.Tags} {
-		for _, meas := range []mining.Measure{mining.Similarity, mining.Diversity} {
-			eng.PairMatrix(dim, meas)
-		}
+	ss := s.shards.Load()
+	var wg sync.WaitGroup
+	for _, snap := range ss.snaps {
+		wg.Add(1)
+		go func(eng *core.Engine) {
+			defer wg.Done()
+			for _, dim := range []mining.Dimension{mining.Users, mining.Items, mining.Tags} {
+				for _, meas := range []mining.Measure{mining.Similarity, mining.Diversity} {
+					eng.PairMatrix(dim, meas)
+				}
+			}
+		}(snap.Engine)
 	}
+	wg.Wait()
 }
 
 // --- wire types ---
@@ -490,7 +529,10 @@ type IngestResponse struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Epoch          int64   `json:"epoch"`
+	Epoch int64 `json:"epoch"`
+	// Shards is the serving-tier fan-out: snapshot replicas (and worker
+	// pools) each analyze scatters across.
+	Shards         int     `json:"shards"`
 	PendingInserts int     `json:"pending_inserts"`
 	Actions        int     `json:"actions"`
 	Groups         int     `json:"groups"`
@@ -625,8 +667,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap := s.snap.Load()
-	key := cacheKey{query: canonicalQuery(req.Query), epoch: snap.Version}
+	ss := s.shards.Load()
+	key := cacheKey{query: canonicalQuery(req.Query), epoch: ss.epoch}
 	cacheSpan := root.StartChild("cache")
 	cached, hit := s.cache.get(key)
 	cacheSpan.SetAttr("hit", hit)
@@ -643,13 +685,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
 	defer cancel()
 	solveSpan := root.StartChild("solve")
-	resp, err := s.pool.do(ctx, func(ctx context.Context) (*analyzeResponse, error) {
-		return s.runAnalyze(obs.WithSpan(ctx, solveSpan), snap, parsed, req.Query)
-	})
+	resp, err := s.scatterAnalyze(ctx, solveSpan, ss, parsed, req.Query)
 	solveSpan.End()
 	switch {
 	case errors.Is(err, errBusy):
 		s.metrics.rejected.Inc()
+		// Queued solves drain in well under the degraded-mode horizon, so
+		// advertise an immediate retry — same contract as the 503 path.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "solve queue full, retry later")
 		return
 	case errors.Is(err, errClosed):
@@ -706,57 +749,6 @@ func (s *Server) finishAnalyze(w http.ResponseWriter, r *http.Request, resp *ana
 		slog.Any("spec", resp.spec),
 		slog.Any("trace", root.Tree()),
 	)
-}
-
-// runAnalyze executes a parsed query against a frozen snapshot. It runs on
-// a pool worker; everything it touches is either immutable (the snapshot)
-// or freshly built here, so concurrent executions never share mutable
-// state. The context carries the request's solve span (solver stages
-// attach under it) and the cancellation budget.
-func (s *Server) runAnalyze(ctx context.Context, snap *incremental.Snapshot, req *query.Request, raw string) (*analyzeResponse, error) {
-	start := time.Now()
-	eng := snap.Engine
-	n := snap.Store.Len()
-	if len(req.Where) > 0 {
-		scopeSpan := obs.StartSpan(ctx, "scope")
-		scoped, scopedN, err := s.scopedEngine(snap, req.Where)
-		scopeSpan.End()
-		if err != nil {
-			return nil, err
-		}
-		eng, n = scoped, scopedN
-	}
-	spec, err := req.Resolve(n)
-	if err != nil {
-		return nil, err
-	}
-	resp := &analyzeResponse{Query: strings.TrimSpace(raw), Epoch: snap.Version, spec: &spec}
-	if len(eng.Groups) == 0 {
-		// An empty universe has no feasible set; short-circuit rather than
-		// exercising solver edge cases.
-		resp.Groups = []GroupResult{}
-		resp.SolveMillis = float64(time.Since(start)) / 1e6
-		return resp, nil
-	}
-	solveStart := time.Now()
-	res, err := eng.Solve(ctx, spec, core.SolveOptions{
-		LSH: core.LSHOptions{Seed: s.cfg.Seed, Mode: core.Fold},
-		FDP: core.FDPOptions{Mode: core.Fold},
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.metrics.recordSolve(res, time.Since(solveStart), time.Since(start))
-	resp.Found = res.Found
-	resp.Algorithm = res.Algorithm
-	resp.Objective = res.Objective
-	resp.Support = res.Support
-	resp.Groups = make([]GroupResult, len(res.Groups))
-	for i, g := range res.Groups {
-		resp.Groups[i] = GroupResult{Description: g.Describe(snap.Store), Size: g.Size()}
-	}
-	resp.SolveMillis = float64(time.Since(start)) / 1e6
-	return resp, nil
 }
 
 // scopedEngine builds a throwaway engine over the subset of the snapshot
@@ -907,9 +899,14 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 	if publish {
 		publishSpan := root.StartChild("publish")
 		s.mu.Lock()
-		err := s.publishLocked()
+		base, err := s.captureLocked()
 		resp.Pending = s.unpublished
 		s.mu.Unlock()
+		if err == nil {
+			// Replicating across shards happens outside s.mu so the write
+			// path never stalls behind O(store) copies.
+			err = s.installSnapshot(base)
+		}
 		publishSpan.End()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
@@ -923,7 +920,7 @@ func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 
-	resp.Epoch = s.snap.Load().Version
+	resp.Epoch = s.shards.Load().epoch
 	s.metrics.ingestLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, resp)
 	s.maybeCheckpointAsync()
@@ -1043,16 +1040,13 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "read-only mode: %s", reason)
 		return
 	}
-	s.mu.Lock()
-	err := s.publishLocked()
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.publish(); err != nil {
 		writeError(w, http.StatusInternalServerError, "publishing snapshot: %v", err)
 		return
 	}
 	s.prewarm()
-	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Version, "groups": len(snap.Groups)})
+	ss := s.shards.Load()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": ss.epoch, "groups": len(ss.primary().Groups), "shards": len(ss.snaps)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1060,14 +1054,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	snap := s.snap.Load()
+	ss := s.shards.Load()
+	snap := ss.primary()
 	s.mu.Lock()
 	pending := s.unpublished
 	users, items := len(s.ds.Users), len(s.ds.Items)
 	s.mu.Unlock()
 
 	var resp StatsResponse
-	resp.Epoch = snap.Version
+	resp.Epoch = ss.epoch
+	resp.Shards = len(ss.snaps)
 	resp.PendingInserts = pending
 	resp.Actions = snap.Store.Len()
 	resp.Groups = len(snap.Groups)
@@ -1083,7 +1079,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Evictions = evictions
 	resp.Cache.HitRate = s.metrics.hitRate()
 	resp.Pool.Workers = s.cfg.Workers
-	resp.Pool.QueueDepth = s.pool.depth()
+	resp.Pool.QueueDepth = s.queuedJobs()
 	resp.Pool.Capacity = s.cfg.QueueDepth
 	// The per-family numbers come from the same registry series /metrics
 	// renders; the totals are their sums, so the two endpoints agree by

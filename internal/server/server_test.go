@@ -29,15 +29,21 @@ func testDataset(t testing.TB) *model.Dataset {
 	f := must(d.AddUser(map[string]string{"gender": "female"}))
 	action := must(d.AddItem(map[string]string{"genre": "action"}))
 	drama := must(d.AddItem(map[string]string{"genre": "drama"}))
-	tags := map[[2]int32][]string{
-		{m, action}: {"gun", "explosion", "gun"},
-		{f, action}: {"stunt", "gun", "chase"},
-		{m, drama}:  {"tears", "slow", "acting"},
-		{f, drama}:  {"acting", "tears", "romance"},
+	// Insertion order is fixed so every call builds an identical dataset —
+	// vocabulary ids and tuple order included — and answers can be
+	// compared across independently built servers.
+	tags := []struct {
+		pair [2]int32
+		tags []string
+	}{
+		{[2]int32{m, action}, []string{"gun", "explosion", "gun"}},
+		{[2]int32{f, action}, []string{"stunt", "gun", "chase"}},
+		{[2]int32{m, drama}, []string{"tears", "slow", "acting"}},
+		{[2]int32{f, drama}, []string{"acting", "tears", "romance"}},
 	}
-	for pair, ts := range tags {
-		for _, tag := range ts {
-			if err := d.AddAction(pair[0], pair[1], 3, tag); err != nil {
+	for _, e := range tags {
+		for _, tag := range e.tags {
+			if err := d.AddAction(e.pair[0], e.pair[1], 3, tag); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -35,7 +35,7 @@ func TestStageLabelBoundsCardinality(t *testing.T) {
 }
 
 func TestRecordSolveNeverMintsUnboundedStageSeries(t *testing.T) {
-	m := newMetrics()
+	m := newMetrics(1)
 	m.recordSolve(core.Result{
 		Algorithm: "SM-LSH d'=4",
 		Stages: []core.Stage{
