@@ -44,6 +44,7 @@ import (
 	"tagdm/internal/core"
 	"tagdm/internal/datagen"
 	"tagdm/internal/experiments"
+	"tagdm/internal/mining"
 	"tagdm/internal/store"
 	"tagdm/internal/userstudy"
 )
@@ -208,6 +209,7 @@ func main() {
 	ksweep := flag.Bool("ksweep", false, "run the k-scalability sweep (Exact blow-up)")
 	bnb := flag.Bool("bnb", false, "run the Exact branch-and-bound pruning sweep (pruning on vs off)")
 	sparse := flag.Bool("sparse", false, "run the sparse-corpus union-kernel sweep (dense vs compressed bitmaps)")
+	matrixReuse := flag.Bool("matrix-reuse", false, "run the pair-matrix lifecycle sweep (scratch build vs dirty-row rebuild vs shared-cache hit)")
 	trace := flag.Bool("trace", false, "emit per-stage solver timing breakdowns (matrix, enumerate, lsh_build, ...)")
 	all := flag.Bool("all", false, "regenerate everything")
 	asJSON := flag.Bool("json", false, "emit timed results as JSON lines instead of tables")
@@ -215,7 +217,7 @@ func main() {
 	timestamp := flag.String("timestamp", "", "timestamp recorded in the -json meta line (default: wall clock, RFC 3339)")
 	flag.Parse()
 
-	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse && !*trace {
+	if *fig == 0 && *table == 0 && !*ablation && !*transfer && !*ksweep && !*bnb && !*sparse && !*trace && !*matrixReuse {
 		*all = true
 	}
 
@@ -250,7 +252,7 @@ func main() {
 		return
 	}
 
-	needSetup := *all || *ablation || *ksweep || *bnb || *trace || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
+	needSetup := *all || *ablation || *ksweep || *bnb || *trace || *matrixReuse || *fig == 1 || *fig == 3 || *fig == 5 || *fig == 7
 	var st *experiments.Setup
 	if needSetup {
 		fmt.Fprintf(os.Stderr, "building %s pipeline (datagen + LDA)...\n", *scale)
@@ -366,6 +368,81 @@ func main() {
 	if *all || *sparse {
 		runSparse(emit)
 	}
+	if *all || *matrixReuse {
+		runMatrixReuse(st, emit)
+	}
+}
+
+// --- pair-matrix lifecycle ---
+
+// runMatrixReuse measures the three ways a solve can obtain a pair matrix
+// after PR 10: a from-scratch build (what every epoch paid before), a
+// dirty-row rebuild carrying the previous epoch's matrix with one group
+// changed (what a 1-group insert pays now), and a shared-cache hit (what
+// every replica and every later solve of the same epoch pays). Each variant
+// is verified bit-identical to the scratch build before its time is
+// reported; any mismatch aborts the run — the carry-over contract is that
+// reuse never changes a single bit.
+func runMatrixReuse(st *experiments.Setup, emit *jsonEmitter) {
+	gs := st.Groups
+	n := len(gs)
+	if n < 2 {
+		log.Fatal("matrix-reuse: corpus has fewer than 2 groups")
+	}
+	pair := st.Engine.PairFunc(mining.Tags, mining.Diversity)
+
+	timeIt := func(reps int, f func()) time.Duration {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			f()
+		}
+		return time.Since(start) / time.Duration(reps)
+	}
+
+	var scratch *mining.PairMatrix
+	coldPer := timeIt(3, func() { scratch = mining.NewPairMatrix(gs, pair, 0) })
+
+	// A 1-group insert dirties exactly one row: the appended group (group
+	// IDs are append-only, so inserts only ever dirty the tail).
+	dirty := make([]bool, n)
+	dirty[n-1] = true
+	var rebuilt *mining.PairMatrix
+	rebuildPer := timeIt(20, func() { rebuilt = scratch.RebuildRows(gs, pair, dirty, 0) })
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rebuilt.At(i, j) != scratch.At(i, j) {
+				log.Fatalf("matrix-reuse: rebuild diverged from scratch at (%d,%d): %v != %v",
+					i, j, rebuilt.At(i, j), scratch.At(i, j))
+			}
+		}
+	}
+
+	// Shared-cache hit: the first PairMatrix call materializes, every
+	// later one (same engine, any replica adopting its cache) is a lookup.
+	cached := st.Engine.PairMatrix(mining.Tags, mining.Diversity)
+	hitPer := timeIt(1000, func() { cached = st.Engine.PairMatrix(mining.Tags, mining.Diversity) })
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cached.At(i, j) != scratch.At(i, j) {
+				log.Fatalf("matrix-reuse: cached matrix diverged from scratch at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	speedup := float64(coldPer) / float64(rebuildPer)
+	if emit != nil {
+		emit.record(benchRecord{Bench: "matrix-reuse", NumGroups: n, Variant: "scratch", Millis: millis(coldPer)})
+		emit.record(benchRecord{Bench: "matrix-reuse", NumGroups: n, Variant: "rebuild-1-dirty", Millis: millis(rebuildPer)})
+		emit.record(benchRecord{Bench: "matrix-reuse", NumGroups: n, Variant: "cache-hit", Millis: millis(hitPer)})
+	} else {
+		fmt.Println("== Pair-matrix lifecycle: scratch vs dirty-row rebuild vs cache hit ==")
+		fmt.Printf("%-18s %12s\n", "variant", "millis")
+		fmt.Printf("%-18s %12.4f\n", "scratch", millis(coldPer))
+		fmt.Printf("%-18s %12.4f\n", "rebuild-1-dirty", millis(rebuildPer))
+		fmt.Printf("%-18s %12.4f\n", "cache-hit", millis(hitPer))
+		fmt.Printf("rebuild speedup over scratch: %.1fx (%d groups)\n\n", speedup, n)
+	}
+	fmt.Fprintf(os.Stderr, "matrix-reuse: %d groups, rebuild %.1fx cheaper than scratch\n", n, speedup)
 }
 
 // --- sparse-corpus union kernels ---

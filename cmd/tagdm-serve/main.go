@@ -90,6 +90,7 @@ func main() {
 		maxIngest    = flag.Int64("max-ingest-bytes", 0, "largest accepted /v1/actions body (0 = default 32MiB)")
 		maxAnalyze   = flag.Int64("max-analyze-bytes", 0, "largest accepted /v1/analyze body (0 = default 1MiB)")
 		prewarm      = flag.Bool("prewarm", false, "build pair matrices at snapshot publication instead of on first query")
+		matrixBudget = flag.Int64("matrix-budget", 0, "byte cap on cached pair matrices, shared across shard replicas (0 = unlimited)")
 		accessLog    = flag.Bool("access-log", false, "write a structured JSON access-log line per request to stderr")
 		slowMs       = flag.Int("slow-ms", 0, "log spec and span tree of solves slower than this many milliseconds (0 disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060); empty disables")
@@ -115,23 +116,24 @@ func main() {
 		logger = obs.NewJSONLogger(os.Stderr, slog.LevelInfo)
 	}
 	srv, err := server.New(server.Config{
-		Dataset:         ds,
-		MinGroupTuples:  *minTuples,
-		Workers:         *workers,
-		Shards:          *shards,
-		QueueDepth:      *queue,
-		CacheSize:       cache,
-		RefreshEvery:    *refreshEvery,
-		SolveTimeout:    *timeout,
-		Seed:            *seed,
-		PrewarmMatrices: *prewarm,
-		AccessLog:       logger,
-		SlowSolve:       time.Duration(*slowMs) * time.Millisecond,
-		DataDir:         *dataDir,
-		FsyncMode:       sync,
-		CheckpointEvery: *ckptEvery,
-		MaxIngestBytes:  *maxIngest,
-		MaxAnalyzeBytes: *maxAnalyze,
+		Dataset:           ds,
+		MinGroupTuples:    *minTuples,
+		Workers:           *workers,
+		Shards:            *shards,
+		QueueDepth:        *queue,
+		CacheSize:         cache,
+		RefreshEvery:      *refreshEvery,
+		SolveTimeout:      *timeout,
+		Seed:              *seed,
+		PrewarmMatrices:   *prewarm,
+		MatrixBudgetBytes: *matrixBudget,
+		AccessLog:         logger,
+		SlowSolve:         time.Duration(*slowMs) * time.Millisecond,
+		DataDir:           *dataDir,
+		FsyncMode:         sync,
+		CheckpointEvery:   *ckptEvery,
+		MaxIngestBytes:    *maxIngest,
+		MaxAnalyzeBytes:   *maxAnalyze,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -211,7 +211,7 @@ func (e *Engine) dvfdpPartial(ctx context.Context, spec ProblemSpec, opts FDPOpt
 		dist = m.At
 	}
 	mt.end()
-	p.builds, p.hits = scorer.builds, scorer.hits
+	p.builds, p.rebuilds, p.hits, p.lazy = scorer.builds, scorer.rebuilds, scorer.hits, scorer.lazy
 
 	tasks, k := e.dvfdpPlan(spec, opts)
 
@@ -385,7 +385,7 @@ func (e *Engine) anchoredStart(anchor *groups.Group, spec ProblemSpec, sc *matri
 			trial := append(ids, cand.ID)
 			ok := true
 			for ci, c := range spec.Constraints {
-				if sc.conMats[ci].MeanOver(trial) < c.Threshold {
+				if sc.conSrc[ci].MeanOver(trial) < c.Threshold {
 					ok = false
 					break
 				}
@@ -447,7 +447,7 @@ func (e *Engine) dvfdpOnce(spec ProblemSpec, opts FDPOptions, sc *matrixScorer, 
 			if sizeAccept != nil && !sizeAccept(selected, cand) {
 				return false
 			}
-			for ci, m := range sc.conMats {
+			for ci, m := range sc.conSrc {
 				var sum float64
 				for _, s := range selected {
 					sum += m.At(s, cand)

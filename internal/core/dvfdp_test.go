@@ -169,7 +169,7 @@ func TestDVFDPKOne(t *testing.T) {
 
 func TestDVFDPEmptyEngine(t *testing.T) {
 	e := buildEngine(t)
-	empty := &Engine{Store: e.Store, Groups: nil, Sigs: nil, pairFuncs: map[pairKey]mining.PairFunc{}}
+	empty := &Engine{Store: e.Store, Groups: nil, Sigs: nil, cache: newMatrixCache()}
 	spec, _ := PaperProblem(6, 2, 0, 0.5, 0.5)
 	res, err := empty.DVFDP(context.Background(), spec, FDPOptions{})
 	if err != nil {

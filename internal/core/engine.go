@@ -18,21 +18,15 @@ type Engine struct {
 	Groups []*groups.Group
 	Sigs   []signature.Signature
 
-	// pairFuncs caches the concrete pair function per (dimension, measure),
-	// and matrices the corresponding precomputed PairMatrix over all engine
-	// groups; mu guards both so concurrent Solves on one engine (a server
-	// answering parallel analyze requests against a shared snapshot) are
-	// safe. Matrices build lazily on first use and persist for the engine's
-	// lifetime, so every solver run — and every concurrent request hitting
-	// one snapshot epoch — shares the same pay-once pair computations.
-	mu        sync.Mutex
-	pairFuncs map[pairKey]mining.PairFunc
-	matrices  map[pairKey]*mining.PairMatrix
-	// pairVers counts SetPairFunc overrides per binding; a matrix built
-	// outside the lock is published only if the binding's version is
-	// unchanged, so a racing override can never be shadowed by a stale
-	// matrix.
-	pairVers map[pairKey]uint64
+	// cache is the matrix lifecycle this engine scores through: pair
+	// matrices build lazily (single-flight) on first use, pair-function
+	// overrides live beside them, and a budget bounds residency. A fresh
+	// engine gets a private cache; shard replicas of one snapshot adopt
+	// the base engine's cache (AdoptCache) so an epoch's matrices are
+	// built once no matter how many replicas score through them, and
+	// Maintainer.Snapshot links successive epochs' caches so clean rows
+	// carry over instead of rebuilding from scratch.
+	cache *MatrixCache
 
 	// layoutOnce computes the posting-list layout census (how many group
 	// tuple bitmaps are container-compressed vs dense) once per engine;
@@ -60,27 +54,46 @@ func NewEngine(s *store.Store, gs []*groups.Group, sigs []signature.Signature) (
 		}
 	}
 	e := &Engine{
-		Store:     s,
-		Groups:    gs,
-		Sigs:      sigs,
-		pairFuncs: make(map[pairKey]mining.PairFunc),
-		matrices:  make(map[pairKey]*mining.PairMatrix),
-		pairVers:  make(map[pairKey]uint64),
+		Store:  s,
+		Groups: gs,
+		Sigs:   sigs,
+		cache:  newMatrixCache(),
 	}
 	return e, nil
 }
 
-// PairFunc returns the cached concrete pair function for a binding.
+// Cache exposes the engine's matrix cache for lifecycle wiring: budget
+// configuration, epoch carry-over (MatrixCache.AttachCarry) and stats
+// export. Solvers never touch it directly.
+func (e *Engine) Cache() *MatrixCache { return e.cache }
+
+// AdoptCache points this engine at from's matrix cache, discarding its
+// own. Replicas of one snapshot adopt the base engine's cache so the
+// epoch's matrices — and any SetPairFunc overrides — are shared rather
+// than rebuilt (and re-installed) per replica; this is only sound when
+// both engines hold bit-identical groups and signatures, which snapshot
+// replication guarantees. Call before the engine serves queries.
+func (e *Engine) AdoptCache(from *Engine) { e.cache = from.cache }
+
+// SetMatrixBudget caps the resident bytes of this engine's pair-matrix
+// cache (0 = unlimited). Above the budget the coldest bindings are
+// evicted and one-shot solves degrade to lazy or blocked-row scoring;
+// results are unchanged, only the time/memory trade moves.
+func (e *Engine) SetMatrixBudget(bytes int64) { e.cache.SetBudget(bytes) }
+
+// MatrixStats reports the engine's matrix-cache residency and eviction
+// counters, exported by the server as tagdm_matrix_bytes and
+// tagdm_matrix_evictions_total.
+func (e *Engine) MatrixStats() MatrixCacheStats { return e.cache.Stats() }
+
+// PairFunc returns the concrete pair function for a binding: the
+// SetPairFunc override when one is installed, the paper's standard
+// measure otherwise.
 func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.PairFunc {
-	k := pairKey{dim, meas}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if f, ok := e.pairFuncs[k]; ok {
+	if f, ok := e.cache.override(pairKey{dim, meas}); ok {
 		return f
 	}
-	f := mining.For(e.Store, e.Sigs, dim, meas).Pair
-	e.pairFuncs[k] = f
-	return f
+	return mining.For(e.Store, e.Sigs, dim, meas).Pair
 }
 
 // SetPairFunc overrides the concrete measure for one (dimension, measure)
@@ -91,64 +104,37 @@ func (e *Engine) PairFunc(dim mining.Dimension, meas mining.Measure) mining.Pair
 // independently, so set both (dim, Similarity) and (dim, Diversity) when
 // both appear in specs.
 func (e *Engine) SetPairFunc(dim mining.Dimension, meas mining.Measure, f mining.PairFunc) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	k := pairKey{dim, meas}
-	e.pairFuncs[k] = f
-	// The cached matrix embodies the old measure; drop it (and bump the
-	// version so an in-flight build of the old measure cannot repopulate
-	// the cache) so the next solver run rebuilds from f.
-	delete(e.matrices, k)
-	e.pairVers[k]++
+	// The cache drops any matrix embodying the old measure and bumps the
+	// binding version so an in-flight build of it cannot repopulate the
+	// cache. Replicas sharing this engine's cache see the override too.
+	e.cache.setOverride(pairKey{dim, meas}, f)
 }
 
 // PairMatrix returns the precomputed pair matrix for a binding, building it
 // over all engine groups on first use (n*(n-1)/2 float64 per binding, rows
-// parallelized across GOMAXPROCS). Two racing first calls may both build;
-// whichever publishes first wins, and both results are identical because
-// builds read the same immutable groups through the same pair function. A
-// build that raced a SetPairFunc override is discarded and retried against
-// the new function.
+// parallelized across GOMAXPROCS). Concurrent first calls single-flight
+// behind the cache: one builds, the rest share the result. A build that
+// raced a SetPairFunc override is discarded and retried against the new
+// function.
 func (e *Engine) PairMatrix(dim mining.Dimension, meas mining.Measure) *mining.PairMatrix {
 	m, _ := e.pairMatrixTracked(dim, meas)
 	return m
 }
 
-// pairMatrixTracked is PairMatrix plus a cache-outcome report: built is
-// true when this call performed a fresh O(n^2) build (even one that lost
-// a publication race — the cost was paid either way), false on a cache
-// hit. Solvers aggregate the outcomes into Result.MatrixBuilds/
-// MatrixHits and the server exports them as matrix-cache counters.
-func (e *Engine) pairMatrixTracked(dim mining.Dimension, meas mining.Measure) (m *mining.PairMatrix, built bool) {
-	k := pairKey{dim, meas}
-	for {
-		e.mu.Lock()
-		if m, ok := e.matrices[k]; ok {
-			e.mu.Unlock()
-			return m, built
+// pairMatrixTracked is PairMatrix plus the cache-outcome report solvers
+// aggregate into Result.MatrixBuilds/MatrixRebuilds/MatrixHits: exactly
+// one caller per physical materialization observes matrixBuilt (scratch)
+// or matrixRebuilt (dirty-row carry from the previous epoch); everyone
+// else — including callers that waited on that build — observes
+// matrixHit.
+func (e *Engine) pairMatrixTracked(dim mining.Dimension, meas mining.Measure) (*mining.PairMatrix, matrixOutcome) {
+	return e.cache.matrix(pairKey{dim, meas}, func(prev *mining.PairMatrix, dirty []bool) *mining.PairMatrix {
+		pair := e.PairFunc(dim, meas)
+		if prev != nil {
+			return prev.RebuildRows(e.Groups, pair, dirty, 0)
 		}
-		ver := e.pairVers[k]
-		e.mu.Unlock()
-		// Build outside the lock: a multi-second build must not stall
-		// solvers that only need already-cached bindings (or the pairFuncs
-		// map).
-		built = true
-		m := mining.NewPairMatrix(e.Groups, e.PairFunc(dim, meas), 0)
-		e.mu.Lock()
-		if exist, ok := e.matrices[k]; ok {
-			e.mu.Unlock()
-			return exist, built
-		}
-		if e.pairVers[k] != ver {
-			// SetPairFunc landed mid-build; this matrix holds the old
-			// measure's values. Retry with the current function.
-			e.mu.Unlock()
-			continue
-		}
-		e.matrices[k] = m
-		e.mu.Unlock()
-		return m, built
-	}
+		return mining.NewPairMatrix(e.Groups, pair, 0)
+	})
 }
 
 // postingLayout reports how many of the engine's group tuple bitmaps are
@@ -257,10 +243,20 @@ type Result struct {
 	// Stage* constants. Repeated phases (SM-LSH relaxation rounds) merge
 	// into one entry per name; entries appear in first-occurrence order.
 	Stages []Stage
-	// MatrixBuilds counts pair matrices this run materialized from
-	// scratch; MatrixHits counts bindings served from the engine cache.
-	MatrixBuilds int
-	MatrixHits   int
+	// MatrixBuilds counts pair matrices this run physically materialized
+	// from scratch; MatrixRebuilds counts physical materializations that
+	// reused clean rows carried from the previous snapshot epoch (a
+	// subset of the same cost class, far cheaper). MatrixHits counts
+	// bindings served from the engine cache, including callers that
+	// waited on another solve's in-flight build; MatrixLazy counts
+	// bindings served without any matrix at all (lazy or blocked-row
+	// scoring on gated one-shot solves). Per binding exactly one of the
+	// four fires, so builds + rebuilds + hits + lazy equals bindings
+	// touched — and a build shared across shard replicas is counted once.
+	MatrixBuilds   int
+	MatrixRebuilds int
+	MatrixHits     int
+	MatrixLazy     int
 	// PostingsCompressed/PostingsDense census the engine's group posting
 	// bitmaps by layout (per engine, not per run — stamped for reporting).
 	PostingsCompressed int
@@ -310,12 +306,32 @@ func (r Result) Describe(s *store.Store) []string {
 	return out
 }
 
-// finish stamps common result fields.
+// finish stamps common result fields. The objective is recomputed through
+// cached pair matrices when present (pure lookups) and through the lazy
+// pair source otherwise — never the naive O(k²) Func.Eval re-derivation,
+// and never a forced matrix build for one k-set. All three paths are
+// bit-identical (pinned by TestFinishObjectiveMatchesNaive): engine
+// objectives are Mean-aggregated and every source visits pairs in Eval's
+// row-major order.
 func (e *Engine) finish(r *Result, spec ProblemSpec, start time.Time) {
 	r.Elapsed = time.Since(start)
 	r.PostingsCompressed, r.PostingsDense = e.postingLayout()
 	if r.Found {
-		r.Objective = e.ObjectiveScore(r.Groups, spec)
+		ids := make([]int, len(r.Groups))
+		for i, g := range r.Groups {
+			ids[i] = g.ID
+		}
+		var total float64
+		for _, o := range spec.Objectives {
+			var src mining.PairSource
+			if m := e.cache.peek(pairKey{o.Dim, o.Meas}); m != nil {
+				src = m
+			} else {
+				src = mining.NewLazyPairs(e.Groups, e.PairFunc(o.Dim, o.Meas))
+			}
+			total += o.Weight * src.MeanOver(ids)
+		}
+		r.Objective = total
 		r.Support = groups.Support(r.Groups)
 	}
 }

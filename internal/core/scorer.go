@@ -7,60 +7,124 @@ import (
 )
 
 // matrixScorer evaluates candidate sets — identified by dense group IDs —
-// against one spec through the engine's precomputed pair matrices: pure
-// float lookups in the hot loop instead of recomputed pair functions, and a
-// reusable union bitmap instead of a Clone per support check. Decisions and
-// scores are bit-identical to ObjectiveScore/ConstraintsSatisfied, whose
-// pair visit order the matrix aggregation replicates.
+// against one spec through per-binding pair sources: precomputed pair
+// matrices when materialized (pure float lookups in the hot loop), lazy or
+// blocked-row sources on gated one-shot solves. Decisions and scores are
+// bit-identical across source kinds and to ObjectiveScore/
+// ConstraintsSatisfied, whose pair visit order every source replicates.
 //
-// The objMats/conMats fields are immutable and safe to read from many
-// goroutines (the Exact workers share one scorer that way), but idsOf and
-// support mutate the scorer's scratch buffers: those methods belong to one
-// goroutine. The matrices come from the engine's shared cache, so building
-// a second scorer for the same spec costs nothing new.
+// The objMats/conMats/objSrc/conSrc fields are immutable and safe to read
+// from many goroutines (the Exact workers share one scorer that way), but
+// idsOf and support mutate the scorer's scratch buffers: those methods
+// belong to one goroutine. Matrices come from the engine's shared cache,
+// so building a second scorer for the same spec costs nothing new.
 type matrixScorer struct {
-	spec    ProblemSpec
-	groups  []*groups.Group
+	spec   ProblemSpec
+	groups []*groups.Group
+	// objMats/conMats hold the concrete matrices — non-nil for every
+	// binding on a fully-materializing scorer (Exact's devirtualized
+	// workers and its branch-and-bound bounds need them), nil per binding
+	// served lazily on a gated scorer. objSrc/conSrc are the uniform
+	// scoring surface objective/pairObjective/feasible read.
 	objMats []*mining.PairMatrix
 	conMats []*mining.PairMatrix
+	objSrc  []mining.PairSource
+	conSrc  []mining.PairSource
 
 	ids      []int         // reusable id buffer for set-based callers
 	scratch  *store.Bitmap // reusable support union for k >= 3, lazily built
 	universe int           // scratch universe (the store's tuple count)
 
-	// builds/hits record the engine matrix-cache outcome per binding this
-	// scorer materialized; solvers copy them onto Result.
-	builds int
-	hits   int
+	// Cache-outcome tally per binding this scorer resolved; solvers copy
+	// it onto Result. Exactly one field fires per binding.
+	builds   int
+	rebuilds int
+	hits     int
+	lazy     int
 }
 
-// scorer builds a matrix scorer for spec, lazily materializing any missing
-// matrices in the engine cache.
+// scorer builds a fully-materializing matrix scorer for spec: every
+// binding gets a concrete matrix, built through the engine cache when
+// missing. Exact (which needs matrix bounds) and the repeated-solve
+// families use this path.
 func (e *Engine) scorer(spec ProblemSpec) *matrixScorer {
-	s := &matrixScorer{
-		spec:     spec,
-		groups:   e.Groups,
-		objMats:  make([]*mining.PairMatrix, len(spec.Objectives)),
-		conMats:  make([]*mining.PairMatrix, len(spec.Constraints)),
-		universe: e.Store.Len(),
-	}
+	s := newScorer(e, spec)
 	for i, o := range spec.Objectives {
-		m, built := e.pairMatrixTracked(o.Dim, o.Meas)
-		s.objMats[i] = m
-		s.note(built)
+		m, outcome := e.pairMatrixTracked(o.Dim, o.Meas)
+		s.objMats[i], s.objSrc[i] = m, m
+		s.note(outcome)
 	}
 	for i, c := range spec.Constraints {
-		m, built := e.pairMatrixTracked(c.Dim, c.Meas)
-		s.conMats[i] = m
-		s.note(built)
+		m, outcome := e.pairMatrixTracked(c.Dim, c.Meas)
+		s.conMats[i], s.conSrc[i] = m, m
+		s.note(outcome)
 	}
 	return s
 }
 
-func (s *matrixScorer) note(built bool) {
-	if built {
+// gatedScorer builds a scorer that avoids O(n²) materialization where it
+// can: a binding already cached scores through its matrix (a hit), and an
+// uncached binding scores through the lazy pair function when preferLazy
+// holds (the adaptive gate decided expected pair volume is far below
+// n²/2), through a budget-bounded blocked-row source when a full matrix
+// cannot fit the cache budget, and through a freshly built matrix
+// otherwise. Only SM-LSH uses this: its bucket scans touch a small,
+// skewed subset of pairs, so a cold one-shot solve shouldn't pay the full
+// build the repeated-solve families amortize.
+func (e *Engine) gatedScorer(spec ProblemSpec, preferLazy bool) *matrixScorer {
+	s := newScorer(e, spec)
+	n := len(e.Groups)
+	resolve := func(dim mining.Dimension, meas mining.Measure) (*mining.PairMatrix, mining.PairSource) {
+		k := pairKey{dim, meas}
+		if m := e.cache.lookup(k); m != nil {
+			s.hits++
+			return m, m
+		}
+		matrixBytes := int64(n) * int64(n-1) / 2 * 8
+		switch {
+		case preferLazy:
+			s.lazy++
+			return nil, mining.NewLazyPairs(e.Groups, e.PairFunc(dim, meas))
+		case e.cache.overBudget(matrixBytes):
+			// A full matrix cannot fit even an empty cache: degrade to
+			// blocked rows capped at a quarter of the budget.
+			s.lazy++
+			maxRows := int(e.cache.Budget() / 4 / (8 * int64(n)))
+			return nil, mining.NewBlockedPairs(e.Groups, e.PairFunc(dim, meas), maxRows)
+		default:
+			m, outcome := e.pairMatrixTracked(dim, meas)
+			s.note(outcome)
+			return m, m
+		}
+	}
+	for i, o := range spec.Objectives {
+		s.objMats[i], s.objSrc[i] = resolve(o.Dim, o.Meas)
+	}
+	for i, c := range spec.Constraints {
+		s.conMats[i], s.conSrc[i] = resolve(c.Dim, c.Meas)
+	}
+	return s
+}
+
+func newScorer(e *Engine, spec ProblemSpec) *matrixScorer {
+	return &matrixScorer{
+		spec:     spec,
+		groups:   e.Groups,
+		objMats:  make([]*mining.PairMatrix, len(spec.Objectives)),
+		conMats:  make([]*mining.PairMatrix, len(spec.Constraints)),
+		objSrc:   make([]mining.PairSource, len(spec.Objectives)),
+		conSrc:   make([]mining.PairSource, len(spec.Constraints)),
+		universe: e.Store.Len(),
+	}
+}
+
+func (s *matrixScorer) note(outcome matrixOutcome) {
+	switch outcome {
+	case matrixBuilt:
 		s.builds++
-	} else {
+	case matrixRebuilt:
+		s.rebuilds++
+	default:
 		s.hits++
 	}
 }
@@ -71,7 +135,8 @@ func (s *matrixScorer) note(built bool) {
 // immutable matrices (see mining.PairMatrix.MaxRows), so they follow the
 // engine's matrix cache: built at most once per binding, dropped with the
 // matrix when SetPairFunc invalidates it, and safe to read from every
-// worker sharing this scorer.
+// worker sharing this scorer. Only fully-materializing scorers may call
+// this (Exact never runs gated).
 func (s *matrixScorer) objectiveBounds() (maxRows [][]float64, maxPair []float64) {
 	maxRows = make([][]float64, len(s.objMats))
 	maxPair = make([]float64, len(s.objMats))
@@ -97,7 +162,7 @@ func (s *matrixScorer) idsOf(set []*groups.Group) []int {
 func (s *matrixScorer) objective(ids []int) float64 {
 	var total float64
 	for oi, o := range s.spec.Objectives {
-		total += o.Weight * s.objMats[oi].MeanOver(ids)
+		total += o.Weight * s.objSrc[oi].MeanOver(ids)
 	}
 	return total
 }
@@ -107,7 +172,7 @@ func (s *matrixScorer) objective(ids []int) float64 {
 func (s *matrixScorer) pairObjective(i, j int) float64 {
 	var total float64
 	for oi, o := range s.spec.Objectives {
-		total += o.Weight * s.objMats[oi].At(i, j)
+		total += o.Weight * s.objSrc[oi].At(i, j)
 	}
 	return total
 }
@@ -123,7 +188,7 @@ func (s *matrixScorer) feasible(ids []int) bool {
 	}
 	if k >= 2 {
 		for ci, c := range s.spec.Constraints {
-			if s.conMats[ci].MeanOver(ids) < c.Threshold {
+			if s.conSrc[ci].MeanOver(ids) < c.Threshold {
 				return false
 			}
 		}

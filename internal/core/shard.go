@@ -59,8 +59,12 @@ type Partial struct {
 	algorithm string
 	shard, of int
 
-	stages       []Stage
-	builds, hits int
+	stages []Stage
+	// Per-binding matrix-cache outcomes (see Result.MatrixBuilds): with
+	// replicas sharing one cache, at most one shard of a scatter reports
+	// the physical build/rebuild and the rest report hits, so merged sums
+	// count each materialization once.
+	builds, rebuilds, hits, lazy int
 
 	// Exact and DV-FDP incumbent (DV-FDP additionally records the start
 	// task index for the serial tie-break; Exact ties break on the
@@ -178,7 +182,7 @@ func (e *Engine) ExactPartial(ctx context.Context, spec ProblemSpec, opts ExactO
 	mt := p.startStage(ctx, StageMatrix)
 	sc := e.scorer(spec)
 	mt.end()
-	p.builds, p.hits = sc.builds, sc.hits
+	p.builds, p.rebuilds, p.hits, p.lazy = sc.builds, sc.rebuilds, sc.hits, sc.lazy
 
 	prune := !opts.DisablePruning
 	et := p.startStage(ctx, StageEnumerate)
@@ -276,7 +280,9 @@ func (e *Engine) MergePartials(spec ProblemSpec, parts []Partial, start time.Tim
 	res := Result{Algorithm: parts[0].algorithm}
 	for _, p := range parts {
 		res.MatrixBuilds += p.builds
+		res.MatrixRebuilds += p.rebuilds
 		res.MatrixHits += p.hits
+		res.MatrixLazy += p.lazy
 		for _, st := range p.stages {
 			res.addStage(st.Name, st.Wall)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -70,13 +71,16 @@ func (o LSHOptions) withDefaults() LSHOptions {
 // DVFDP family because the hash function cannot be inverted for
 // dissimilarity (Section 4.3, Discussion).
 //
-// Bucket scoring reads the engine's precomputed pair matrices, which on a
-// cold engine costs an O(n^2) parallel build per binding before any bucket
-// is hashed — a deliberate trade: repeated solves (relaxation rounds here,
-// every later run on the engine, every concurrent request against a server
-// snapshot) then score from pure lookups. For one-shot runs over very
-// large group universes, prefer engines that outlive the query (or the
-// server's per-epoch sharing); adaptive gating is a roadmap item.
+// Bucket scoring is adaptively gated: bindings already materialized in
+// the engine's matrix cache score from pure lookups, and on a cold engine
+// the expected bucket-pair volume decides — when it is far below n²/2
+// (the usual case: buckets are small at the paper's d'=10), the solve
+// keeps the lazy pair-function path and skips the O(n²) build entirely,
+// so one-shot runs over large universes no longer pay for matrices
+// they'd barely read. Repeated solves (server snapshots, prewarmed
+// engines) still amortize full matrices. Hash vectors and built indexes
+// are shared per epoch through the same cache: every relaxation round and
+// every concurrent request against one snapshot reuses them.
 // Cancellation: ctx is checked once per relaxation round (each round is
 // one LSH build plus one full bucket scan, the unit of work here); a
 // cancelled run returns ctx.Err() with an empty result.
@@ -133,14 +137,18 @@ func (e *Engine) smlshPartial(ctx context.Context, spec ProblemSpec, opts LSHOpt
 		bestTask: -1, multiRound: -1, multiBucket: -1, singleRound: -1, singleBucket: -1,
 	}
 
-	// One matrix-backed scorer serves every relaxation round: bucket
-	// feasibility and ranking read precomputed pair values.
+	// One scorer serves every relaxation round: bucket feasibility and
+	// ranking read cached pair matrices when present, and the adaptive
+	// gate keeps the lazy pair-function path on cold one-shot solves.
 	mt := p.startStage(ctx, StageMatrix)
-	scorer := e.scorer(spec)
+	scorer := e.gatedScorer(spec, e.smlshPreferLazy(opts))
 	mt.end()
-	p.builds, p.hits = scorer.builds, scorer.hits
+	p.builds, p.rebuilds, p.hits, p.lazy = scorer.builds, scorer.rebuilds, scorer.hits, scorer.lazy
+	foldUsers, foldItems := e.foldFlags(spec, opts.Mode)
 	ht := p.startStage(ctx, StageLSHBuild)
-	vectors := e.hashVectors(spec, opts.Mode)
+	vectors := e.cache.hashVectors(vectorsKey{foldUsers, foldItems}, func() [][]float64 {
+		return e.buildHashVectors(foldUsers, foldItems)
+	})
 	ht.end()
 
 	// Binary-search relaxation over d' (Algorithm 1): try the current d';
@@ -159,7 +167,9 @@ func (e *Engine) smlshPartial(ctx context.Context, spec ProblemSpec, opts LSHOpt
 			return Partial{}, err
 		}
 		bt := p.startStage(ctx, StageLSHBuild)
-		idx, err := lsh.Build(vectors, lsh.Params{DPrime: dprime, L: opts.L, Seed: opts.Seed})
+		idx, err := e.cache.index(indexKey{foldUsers, foldItems, dprime, opts.L, opts.Seed}, func() (*lsh.Index, error) {
+			return lsh.Build(vectors, lsh.Params{DPrime: dprime, L: opts.L, Seed: opts.Seed})
+		})
 		bt.end()
 		if err != nil {
 			return Partial{}, err
@@ -194,26 +204,64 @@ func (e *Engine) smlshPartial(ctx context.Context, spec ProblemSpec, opts LSHOpt
 	return p, nil
 }
 
-// hashVectors builds the per-group vectors to hash. In Filter mode the
-// vector is the (normalized) tag signature alone. In Fold mode, similarity
-// constraints on the user and/or item dimensions are folded in by
-// concatenating one-hot encodings of the group's structural description
-// (Section 4.3), so groups that agree on those attributes tend to collide.
-func (e *Engine) hashVectors(spec ProblemSpec, mode ConstraintMode) [][]float64 {
-	foldUsers, foldItems := false, false
-	if mode == Fold {
-		for _, c := range spec.Constraints {
-			if c.Meas != mining.Similarity {
-				continue // diversity constraints cannot be folded into LSH
-			}
-			switch c.Dim {
-			case mining.Users:
-				foldUsers = true
-			case mining.Items:
-				foldItems = true
-			}
+// smlshPreferLazy is the adaptive matrix gate: it estimates the pair
+// volume the first two relaxation rounds are expected to read (bucket
+// feasibility and ranking touch ~|b|²/2 pairs per bucket; uniform hashing
+// puts that near L·n²/2^(d'+1) per round) and prefers the lazy
+// pair-function path when doubling that estimate still falls well below
+// the n(n-1)/2 pairs a full matrix build pays. With the paper's d'=10 the
+// estimate is ~n²/700, so cold one-shot solves gate lazy; tiny d' or many
+// tables flip it back to materializing. A heuristic only — deep
+// relaxation on null-heavy corpora can exceed the estimate — and results
+// are unchanged either way (lazy sources are bit-identical).
+func (e *Engine) smlshPreferLazy(opts LSHOptions) bool {
+	n := len(e.Groups)
+	if n < 2 {
+		return true
+	}
+	total := float64(n) * float64(n-1) / 2
+	d0 := opts.DPrime
+	d1 := d0 / 2 // the first relaxation target: (1 + d0-1)/2
+	perRound := func(d int) float64 {
+		buckets := math.Ldexp(1, d) // 2^d
+		if buckets > float64(n) {
+			buckets = float64(n)
+		}
+		return float64(opts.L) * total / buckets
+	}
+	est := perRound(d0) + perRound(d1)
+	return 2*est < total
+}
+
+// foldFlags reports which structural dimensions Fold mode folds into the
+// hashed vectors for this spec: similarity constraints on the user and/or
+// item dimensions (diversity constraints cannot be folded into LSH).
+func (e *Engine) foldFlags(spec ProblemSpec, mode ConstraintMode) (foldUsers, foldItems bool) {
+	if mode != Fold {
+		return false, false
+	}
+	for _, c := range spec.Constraints {
+		if c.Meas != mining.Similarity {
+			continue
+		}
+		switch c.Dim {
+		case mining.Users:
+			foldUsers = true
+		case mining.Items:
+			foldItems = true
 		}
 	}
+	return foldUsers, foldItems
+}
+
+// buildHashVectors builds the per-group vectors to hash. Without folding
+// the vector is the (normalized) tag signature alone; with foldUsers/
+// foldItems set, one-hot encodings of the group's structural description
+// are concatenated in (Section 4.3), so groups that agree on those
+// attributes tend to collide. Deterministic in the engine's groups and
+// signatures, so replicas and repeated requests share one build through
+// the engine cache.
+func (e *Engine) buildHashVectors(foldUsers, foldItems bool) [][]float64 {
 	us, is := e.Store.UserSchema, e.Store.ItemSchema
 	uOffs, iOffs := us.OneHotOffsets(), is.OneHotOffsets()
 	uDim, iDim := us.TotalCardinality(), is.TotalCardinality()

@@ -9,6 +9,13 @@ import (
 	"tagdm/internal/mining"
 )
 
+// hashVectorsFor mirrors the pre-split hashVectors(spec, mode) helper the
+// tests were written against: resolve fold flags, then build the vectors.
+func hashVectorsFor(e *Engine, spec ProblemSpec, mode ConstraintMode) [][]float64 {
+	foldUsers, foldItems := e.foldFlags(spec, mode)
+	return e.buildHashVectors(foldUsers, foldItems)
+}
+
 func TestHashVectorsDimensions(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
@@ -17,7 +24,7 @@ func TestHashVectorsDimensions(t *testing.T) {
 	iDim := e.Store.ItemSchema.TotalCardinality()
 
 	// Filter mode hashes the signature alone.
-	filterVecs := e.hashVectors(spec, Filter)
+	filterVecs := hashVectorsFor(e, spec, Filter)
 	if len(filterVecs) != len(e.Groups) {
 		t.Fatalf("vector count %d", len(filterVecs))
 	}
@@ -25,7 +32,7 @@ func TestHashVectorsDimensions(t *testing.T) {
 		t.Fatalf("filter dim = %d, want %d", len(filterVecs[0]), sigDim)
 	}
 	// Problem 1 folds both user and item similarity constraints.
-	foldVecs := e.hashVectors(spec, Fold)
+	foldVecs := hashVectorsFor(e, spec, Fold)
 	want := uDim + iDim + sigDim
 	if len(foldVecs[0]) != want {
 		t.Fatalf("fold dim = %d, want %d (u=%d i=%d sig=%d)",
@@ -38,7 +45,7 @@ func TestHashVectorsFoldOnlySimilarityConstraints(t *testing.T) {
 	// Problem 2: user similarity, item DIVERSITY. Only the user block can
 	// fold (diversity cannot fold into LSH).
 	spec, _ := PaperProblem(2, 2, 5, 0.5, 0.5)
-	foldVecs := e.hashVectors(spec, Fold)
+	foldVecs := hashVectorsFor(e, spec, Fold)
 	want := e.Store.UserSchema.TotalCardinality() + len(e.Sigs[0].Weights)
 	if len(foldVecs[0]) != want {
 		t.Fatalf("fold dim = %d, want %d", len(foldVecs[0]), want)
@@ -48,7 +55,7 @@ func TestHashVectorsFoldOnlySimilarityConstraints(t *testing.T) {
 func TestHashVectorsOneHotPlacement(t *testing.T) {
 	e := buildEngine(t)
 	spec, _ := PaperProblem(1, 2, 5, 0.5, 0.5)
-	vecs := e.hashVectors(spec, Fold)
+	vecs := hashVectorsFor(e, spec, Fold)
 	us := e.Store.UserSchema
 	uDim := us.TotalCardinality()
 	// The user one-hot block of every group must have exactly one

@@ -54,6 +54,17 @@ type Maintainer struct {
 	sigs  []signature.Signature
 	dirty map[int]bool
 
+	// dirtySnap accumulates the groups touched since the last Snapshot —
+	// unlike dirty it survives Refresh (which clears dirty when it
+	// re-summarizes) and is what the epoch carry-over hands the next
+	// snapshot's matrix cache: pair scores of two clean carried groups
+	// are bit-identical across epochs, so only rows touching dirtySnap
+	// need recomputing. prevCache/prevN remember the previous snapshot's
+	// cache and universe size for the AttachCarry link.
+	dirtySnap map[int]bool
+	prevCache *core.MatrixCache
+	prevN     int
+
 	inserts int
 	version int64
 }
@@ -114,6 +125,7 @@ func build(ds *model.Dataset, minTuples int, sum signature.Summarizer, activeKey
 		sum:       sum,
 		byKey:     make(map[string]*pending),
 		dirty:     make(map[int]bool),
+		dirtySnap: make(map[int]bool),
 		version:   version,
 	}
 	// Seed byKey with every existing tuple, then activate qualifying
@@ -194,6 +206,7 @@ func (m *Maintainer) activate(p *pending) {
 	m.active = append(m.active, p.group)
 	m.sigs = append(m.sigs, signature.Signature{})
 	m.dirty[p.group.ID] = true
+	m.dirtySnap[p.group.ID] = true
 }
 
 // Insert appends one tagging action and updates the group universe. The
@@ -223,6 +236,7 @@ func (m *Maintainer) Insert(a model.TaggingAction) error {
 		m.activate(p)
 	} else if p.active {
 		m.dirty[p.group.ID] = true
+		m.dirtySnap[p.group.ID] = true
 	}
 	m.inserts++
 	m.version++
@@ -299,6 +313,14 @@ type Snapshot struct {
 // the store, group bitmaps and membership lists are deep-copied, so readers
 // may run queries on the snapshot while the writer keeps inserting. The
 // copy is O(store size); batch inserts between snapshots to amortize it.
+//
+// Pair matrices carry over: the new engine's cache is linked to the
+// previous snapshot's cache together with the set of groups touched since
+// — group IDs are stable and append-only, and a clean group's predicate
+// and signature are unchanged, so the next matrix materialization reuses
+// every clean row and recomputes only rows involving touched or new
+// groups (mining.PairMatrix.RebuildRows), bit-identical to a scratch
+// build.
 func (m *Maintainer) Snapshot() (*Snapshot, error) {
 	m.resummarize()
 	st := m.store.Clone()
@@ -321,6 +343,18 @@ func (m *Maintainer) Snapshot() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.prevCache != nil {
+		dirty := make([]bool, m.prevN)
+		for id := range m.dirtySnap {
+			if id < m.prevN {
+				dirty[id] = true
+			}
+		}
+		eng.Cache().AttachCarry(m.prevCache, dirty)
+	}
+	m.prevCache = eng.Cache()
+	m.prevN = len(gs)
+	m.dirtySnap = make(map[int]bool)
 	return &Snapshot{
 		Engine:    eng,
 		Store:     st,
@@ -332,15 +366,16 @@ func (m *Maintainer) Snapshot() (*Snapshot, error) {
 
 // Replicate deep-copies a frozen Snapshot into an independent replica:
 // same Version and VocabSize, structurally identical store, groups and
-// signatures, but a fresh engine whose pair-matrix cache and scorer
-// scratch are private. Per-shard serving solves against one replica per
-// shard so concurrent shard solves share nothing mutable, and identical
-// inputs make the replicas' pair matrices bit-identical — the property
-// sharded merges rely on. The receiver is already frozen, so unlike
-// Maintainer.Snapshot this runs outside the writer lock; the publish path
-// takes one Snapshot under the lock and fans replicas out afterwards.
-// Engine-level pair-function overrides (SetPairFunc) are not carried over;
-// callers that install them must re-install on each replica.
+// signatures. The replica's store, groups and scorer scratch are private,
+// but the engine shares the receiver's pair-matrix cache: matrices are
+// immutable once built, so replicas can safely serve reads from one
+// materialization instead of each rebuilding identical n(n-1)/2 triangles.
+// Sharing the cache also carries engine-level pair-function overrides
+// (SetPairFunc) into every replica — a solve on any replica sees the same
+// measures the base engine was configured with. The receiver is already
+// frozen, so unlike Maintainer.Snapshot this runs outside the writer lock;
+// the publish path takes one Snapshot under the lock and fans replicas out
+// afterwards.
 func (s *Snapshot) Replicate() (*Snapshot, error) {
 	st := s.Store.Clone()
 	st.Optimize()
@@ -358,6 +393,7 @@ func (s *Snapshot) Replicate() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.AdoptCache(s.Engine)
 	return &Snapshot{
 		Engine:    eng,
 		Store:     st,

@@ -35,8 +35,28 @@ func NewPairMatrix(gs []*groups.Group, pair PairFunc, workers int) *PairMatrix {
 	}, workers)}
 }
 
+// RebuildRows builds the matrix for the (possibly grown) universe gs while
+// reusing this matrix's entries for every pair of clean carried-over
+// groups: entry (i, j) is recomputed through pair only when i or j is
+// marked dirty or lies beyond the receiver's universe, and copied verbatim
+// otherwise. dirty is indexed by the receiver's group IDs (group IDs are
+// stable and append-only across snapshot epochs). The result is
+// bit-identical to NewPairMatrix(gs, pair, workers) whenever the carried
+// entries are still valid — i.e. dirty covers every group whose predicate
+// or signature changed — which the epoch carry-over property tests pin.
+// The receiver is not modified.
+func (m *PairMatrix) RebuildRows(gs []*groups.Group, pair PairFunc, dirty []bool, workers int) *PairMatrix {
+	return &PairMatrix{mat: vec.NewMatrixParallelFrom(len(gs), m.mat, dirty, func(i, j int) float64 {
+		return pair(gs[i], gs[j])
+	}, workers)}
+}
+
 // Len returns the number of groups the matrix covers.
 func (m *PairMatrix) Len() int { return m.mat.Len() }
+
+// Bytes is the resident size of the condensed score storage, the quantity
+// the engine's matrix budget accounts in.
+func (m *PairMatrix) Bytes() int64 { return int64(m.mat.Len()) * int64(m.mat.Len()-1) / 2 * 8 }
 
 // At returns the cached pair score of groups i and j (0 on the diagonal).
 func (m *PairMatrix) At(i, j int) float64 { return m.mat.At(i, j) }

@@ -1,0 +1,236 @@
+package mining
+
+import (
+	"sync"
+
+	"tagdm/internal/groups"
+)
+
+// PairSource is the read surface solvers score candidate sets through: a
+// condensed symmetric pair table over the dense group universe. PairMatrix
+// is the fully materialized implementation; LazyPairs evaluates the pair
+// function on demand (no storage), and BlockedPairs materializes rows on
+// demand under a byte budget. All three visit pairs of an id set in the
+// same row-major (i < j) order Func.Eval does, so their aggregates are
+// bit-identical to each other and to the naive evaluation — solvers may be
+// pointed at any implementation without changing answers.
+type PairSource interface {
+	// Len returns the number of groups the source covers.
+	Len() int
+	// At returns the pair score of groups i and j (0 on the diagonal).
+	At(i, j int) float64
+	// SumOver accumulates pair scores over all unordered pairs of ids in
+	// row-major order.
+	SumOver(ids []int) float64
+	// MeanOver is the Mean aggregation over ids (0 below two ids).
+	MeanOver(ids []int) float64
+	// MinOver is the Min aggregation over ids (0 below two ids).
+	MinOver(ids []int) float64
+}
+
+var (
+	_ PairSource = (*PairMatrix)(nil)
+	_ PairSource = (*LazyPairs)(nil)
+	_ PairSource = (*BlockedPairs)(nil)
+)
+
+// LazyPairs serves pair scores by calling the pair function directly —
+// the pre-matrix scoring path, kept as a PairSource so solvers whose
+// expected pair volume is far below n²/2 (a cold one-shot SM-LSH solve)
+// can skip the O(n²) build entirely. Stateless and safe for concurrent
+// readers as long as the pair function is (every function in this codebase
+// is a pure read over immutable groups).
+type LazyPairs struct {
+	gs   []*groups.Group
+	pair PairFunc
+}
+
+// NewLazyPairs wraps a pair function over the enumerated group universe.
+func NewLazyPairs(gs []*groups.Group, pair PairFunc) *LazyPairs {
+	return &LazyPairs{gs: gs, pair: pair}
+}
+
+// Len returns the number of groups covered.
+func (l *LazyPairs) Len() int { return len(l.gs) }
+
+// At evaluates the pair function for groups i and j, normalizing the
+// argument order to (low, high) exactly as the matrix build does, so the
+// value is bit-identical to the matrix entry.
+func (l *LazyPairs) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return l.pair(l.gs[i], l.gs[j])
+}
+
+// SumOver accumulates pair scores in Func.Eval's row-major order.
+func (l *LazyPairs) SumOver(ids []int) float64 {
+	var s float64
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			s += l.At(ids[i], ids[j])
+		}
+	}
+	return s
+}
+
+// MeanOver is the Mean aggregation over ids (0 below two ids).
+func (l *LazyPairs) MeanOver(ids []int) float64 {
+	k := len(ids)
+	if k < 2 {
+		return 0
+	}
+	return l.SumOver(ids) / float64(k*(k-1)/2)
+}
+
+// MinOver is the Min aggregation over ids (0 below two ids).
+func (l *LazyPairs) MinOver(ids []int) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	best := l.At(ids[0], ids[1])
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if v := l.At(ids[i], ids[j]); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// BlockedPairs materializes pair scores one row at a time, keeping at most
+// maxRows rows resident — the degraded scoring mode for engines whose
+// matrix budget cannot fit another full matrix. A row holds group r's
+// scores against every group, so repeated reads against a small working
+// set (the hot groups of a bucket scan) hit cached rows while cold rows
+// recompute. Values are bit-identical to the full matrix: each entry is
+// the same (low, high)-ordered pair call.
+//
+// Safe for concurrent readers; row lookups take a mutex, so this trades
+// throughput for bounded memory — callers on hot paths should prefer a
+// full PairMatrix when the budget allows.
+type BlockedPairs struct {
+	gs      []*groups.Group
+	pair    PairFunc
+	maxRows int
+
+	//tagdm:mutex nonblocking
+	mu   sync.Mutex
+	rows map[int]*blockedRow
+	tick uint64
+}
+
+type blockedRow struct {
+	vals []float64
+	tick uint64
+}
+
+// NewBlockedPairs wraps a pair function with an LRU row cache of at most
+// maxRows resident rows (minimum 1).
+func NewBlockedPairs(gs []*groups.Group, pair PairFunc, maxRows int) *BlockedPairs {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	return &BlockedPairs{
+		gs:      gs,
+		pair:    pair,
+		maxRows: maxRows,
+		rows:    make(map[int]*blockedRow),
+	}
+}
+
+// Len returns the number of groups covered.
+func (b *BlockedPairs) Len() int { return len(b.gs) }
+
+// row returns group r's resident score row, materializing (and possibly
+// evicting the coldest resident row) on a miss. The O(n) row computation
+// runs outside the lock; a racing duplicate build publishes last-wins with
+// identical values.
+func (b *BlockedPairs) row(r int) []float64 {
+	b.mu.Lock()
+	if row, ok := b.rows[r]; ok {
+		b.tick++
+		row.tick = b.tick
+		b.mu.Unlock()
+		return row.vals
+	}
+	b.mu.Unlock()
+
+	vals := make([]float64, len(b.gs))
+	for j := range b.gs {
+		if j == r {
+			continue
+		}
+		lo, hi := r, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		vals[j] = b.pair(b.gs[lo], b.gs[hi])
+	}
+
+	b.mu.Lock()
+	if len(b.rows) >= b.maxRows {
+		coldest, oldest := -1, uint64(0)
+		for id, row := range b.rows {
+			if coldest < 0 || row.tick < oldest {
+				coldest, oldest = id, row.tick
+			}
+		}
+		delete(b.rows, coldest)
+	}
+	b.tick++
+	b.rows[r] = &blockedRow{vals: vals, tick: b.tick}
+	b.mu.Unlock()
+	return vals
+}
+
+// At returns the pair score of groups i and j through the row cache.
+func (b *BlockedPairs) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return b.row(i)[j]
+}
+
+// SumOver accumulates pair scores in Func.Eval's row-major order; each
+// distinct first index fetches its row once per inner loop.
+func (b *BlockedPairs) SumOver(ids []int) float64 {
+	var s float64
+	for i := 0; i < len(ids); i++ {
+		row := b.row(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			s += row[ids[j]]
+		}
+	}
+	return s
+}
+
+// MeanOver is the Mean aggregation over ids (0 below two ids).
+func (b *BlockedPairs) MeanOver(ids []int) float64 {
+	k := len(ids)
+	if k < 2 {
+		return 0
+	}
+	return b.SumOver(ids) / float64(k*(k-1)/2)
+}
+
+// MinOver is the Min aggregation over ids (0 below two ids).
+func (b *BlockedPairs) MinOver(ids []int) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	best := b.At(ids[0], ids[1])
+	for i := 0; i < len(ids); i++ {
+		row := b.row(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			if v := row[ids[j]]; v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -142,7 +142,9 @@ type metrics struct {
 	candidatesExamined *obs.CounterVec // {family}
 	candidatesPruned   *obs.CounterVec // {family}
 	matrixBuilds       *obs.CounterVec // {family}
+	matrixRebuilds     *obs.CounterVec // {family}
 	matrixHits         *obs.CounterVec // {family}
+	matrixLazy         *obs.CounterVec // {family}
 
 	solveLatency *obs.HistogramVec // {family}: end-to-end analyze execution
 	solveStage   *obs.HistogramVec // {family,stage}: per-phase solver wall time
@@ -210,9 +212,13 @@ func newMetrics(shards int) *metrics {
 		candidatesPruned: reg.CounterVec("tagdm_candidates_pruned_total",
 			"Candidate sets cut by branch-and-bound without evaluation, by family.", "family"),
 		matrixBuilds: reg.CounterVec("tagdm_matrix_builds_total",
-			"Pair matrices built because no cached matrix existed, by family.", "family"),
+			"Pair matrices built from scratch because no cached or carried matrix existed, by family.", "family"),
+		matrixRebuilds: reg.CounterVec("tagdm_matrix_rebuilds_total",
+			"Pair matrices rebuilt incrementally from the previous epoch (dirty rows only), by family.", "family"),
 		matrixHits: reg.CounterVec("tagdm_matrix_cache_hits_total",
 			"Pair-matrix bindings served from the snapshot engine cache, by family.", "family"),
+		matrixLazy: reg.CounterVec("tagdm_matrix_lazy_total",
+			"Pair-matrix bindings served through lazy or blocked pair sources without a full materialization, by family.", "family"),
 
 		solveLatency: reg.HistogramVec("tagdm_solve_latency_seconds",
 			"End-to-end analyze execution latency in seconds, by solver family.",
@@ -260,7 +266,9 @@ func newMetrics(shards int) *metrics {
 		m.candidatesExamined.With(fam)
 		m.candidatesPruned.With(fam)
 		m.matrixBuilds.With(fam)
+		m.matrixRebuilds.With(fam)
 		m.matrixHits.With(fam)
+		m.matrixLazy.With(fam)
 		m.solveLatency.With(fam)
 		for _, stage := range familyStages[fam] {
 			m.solveStage.With(fam, stage)
@@ -298,6 +306,12 @@ func (m *metrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("tagdm_cache_size",
 		"Entries in the analyze result cache.",
 		func() float64 { size, _ := s.cache.stats(); return float64(size) })
+	m.reg.GaugeFunc("tagdm_matrix_bytes",
+		"Bytes of fully materialized pair matrices held by the published engine cache (shared across replicas).",
+		func() float64 { return float64(s.shards.Load().primary().Engine.MatrixStats().Bytes) })
+	m.reg.GaugeFunc("tagdm_matrix_evictions_total",
+		"Pair matrices evicted under the memory budget since the first epoch (carried across snapshots).",
+		func() float64 { return float64(s.shards.Load().primary().Engine.MatrixStats().Evictions) })
 	m.reg.GaugeFunc("tagdm_shards",
 		"Serving-tier shard count: snapshot replicas each analyze scatters across.",
 		func() float64 { return float64(s.cfg.Shards) })
@@ -356,7 +370,9 @@ func (m *metrics) recordSolve(res core.Result, solverWall, total time.Duration) 
 	m.candidatesExamined.With(fam).Add(res.CandidatesExamined)
 	m.candidatesPruned.With(fam).Add(res.CandidatesPruned)
 	m.matrixBuilds.With(fam).Add(int64(res.MatrixBuilds))
+	m.matrixRebuilds.With(fam).Add(int64(res.MatrixRebuilds))
 	m.matrixHits.With(fam).Add(int64(res.MatrixHits))
+	m.matrixLazy.With(fam).Add(int64(res.MatrixLazy))
 	m.solveLatency.With(fam).Observe(total.Seconds())
 	for _, st := range res.Stages {
 		m.solveStage.With(fam, stageLabel(fam, st.Name)).Observe(st.Wall.Seconds())

@@ -103,6 +103,13 @@ type Config struct {
 	// write-heavy streams. Matrices cost n*(n-1)/2 float64 per binding
 	// over n groups.
 	PrewarmMatrices bool
+	// MatrixBudgetBytes caps the bytes of fully materialized pair matrices
+	// the published engine's cache may hold; the coldest matrices are
+	// evicted when the cap is exceeded, and bindings whose full triangle
+	// would not fit are served through blocked-row materialization instead.
+	// Replicas share one cache, so the budget covers the whole serving tier
+	// regardless of shard count. Zero means unlimited (the default).
+	MatrixBudgetBytes int64
 	// AccessLog, when non-nil, receives one structured line per HTTP
 	// request (request id, method, path, status, duration) plus slow-solve
 	// reports. Use obs.NewJSONLogger for the standard JSON shape.
@@ -414,31 +421,24 @@ func (s *Server) DatasetStats() model.Stats {
 	return s.ds.Stats()
 }
 
-// prewarm builds every (dimension, measure) pair matrix of every published
-// shard replica, one goroutine per shard. Callers invoke it after releasing
-// s.mu: an O(n^2) build per binding must never stall the write path, and
-// each engine's own matrix cache already makes racing analyzes share
-// whatever is built. The publishing request waits for the build (that is
-// the prewarm contract — publish pays so analyzes don't), while other
-// ingests proceed.
+// prewarm builds every (dimension, measure) pair matrix of the published
+// view. All shard replicas share the primary engine's cache, so warming the
+// primary warms the whole replica set — one physical build per binding
+// regardless of shard count (the cache single-flights racing builds).
+// Callers invoke it after releasing s.mu: an O(n^2) build per binding must
+// never stall the write path. The publishing request waits for the build
+// (that is the prewarm contract — publish pays so analyzes don't), while
+// other ingests proceed.
 func (s *Server) prewarm() {
 	if !s.cfg.PrewarmMatrices {
 		return
 	}
-	ss := s.shards.Load()
-	var wg sync.WaitGroup
-	for _, snap := range ss.snaps {
-		wg.Add(1)
-		go func(eng *core.Engine) {
-			defer wg.Done()
-			for _, dim := range []mining.Dimension{mining.Users, mining.Items, mining.Tags} {
-				for _, meas := range []mining.Measure{mining.Similarity, mining.Diversity} {
-					eng.PairMatrix(dim, meas)
-				}
-			}
-		}(snap.Engine)
+	eng := s.shards.Load().primary().Engine
+	for _, dim := range []mining.Dimension{mining.Users, mining.Items, mining.Tags} {
+		for _, meas := range []mining.Measure{mining.Similarity, mining.Diversity} {
+			eng.PairMatrix(dim, meas)
+		}
 	}
-	wg.Wait()
 }
 
 // --- wire types ---
@@ -556,6 +556,16 @@ type StatsResponse struct {
 		Capacity   int `json:"queue_capacity"`
 	} `json:"pool"`
 
+	// Matrix describes the published engine's pair-matrix cache, which all
+	// shard replicas share. Evictions is cumulative across epochs (the
+	// counter is carried when a new snapshot adopts the previous cache).
+	Matrix struct {
+		Bytes       int64  `json:"bytes"`
+		Entries     int    `json:"entries"`
+		BudgetBytes int64  `json:"budget_bytes"`
+		Evictions   uint64 `json:"evictions"`
+	} `json:"matrix"`
+
 	Solve struct {
 		Count      int64   `json:"count"`
 		Errors     int64   `json:"errors"`
@@ -616,7 +626,9 @@ type FamilySolveStats struct {
 	CandidatesExamined int64   `json:"candidates_examined"`
 	CandidatesPruned   int64   `json:"candidates_pruned"`
 	MatrixBuilds       int64   `json:"matrix_builds"`
+	MatrixRebuilds     int64   `json:"matrix_rebuilds"`
 	MatrixHits         int64   `json:"matrix_cache_hits"`
+	MatrixLazy         int64   `json:"matrix_lazy"`
 }
 
 type errorResponse struct {
@@ -1081,6 +1093,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Pool.Workers = s.cfg.Workers
 	resp.Pool.QueueDepth = s.queuedJobs()
 	resp.Pool.Capacity = s.cfg.QueueDepth
+	ms := snap.Engine.MatrixStats()
+	resp.Matrix.Bytes = ms.Bytes
+	resp.Matrix.Entries = ms.Entries
+	resp.Matrix.BudgetBytes = s.cfg.MatrixBudgetBytes
+	resp.Matrix.Evictions = ms.Evictions
 	// The per-family numbers come from the same registry series /metrics
 	// renders; the totals are their sums, so the two endpoints agree by
 	// construction.
@@ -1094,7 +1111,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CandidatesExamined: s.metrics.candidatesExamined.With(fam).Value(),
 			CandidatesPruned:   s.metrics.candidatesPruned.With(fam).Value(),
 			MatrixBuilds:       s.metrics.matrixBuilds.With(fam).Value(),
+			MatrixRebuilds:     s.metrics.matrixRebuilds.With(fam).Value(),
 			MatrixHits:         s.metrics.matrixHits.With(fam).Value(),
+			MatrixLazy:         s.metrics.matrixLazy.With(fam).Value(),
 		}
 		resp.Solve.Families[fam] = fs
 		resp.Solve.Count += fs.Count

@@ -54,6 +54,11 @@ func (s *Server) captureLocked() (*incremental.Snapshot, error) {
 // when a strictly newer set already won, so a slow replication of an old
 // epoch can never clobber a newer published view.
 func (s *Server) installSnapshot(base *incremental.Snapshot) error {
+	if s.cfg.MatrixBudgetBytes > 0 {
+		// Replicas adopt the base engine's cache, so one budget set here
+		// governs the whole replica set.
+		base.Engine.SetMatrixBudget(s.cfg.MatrixBudgetBytes)
+	}
 	snaps := make([]*incremental.Snapshot, s.cfg.Shards)
 	snaps[0] = base
 	for i := 1; i < s.cfg.Shards; i++ {

@@ -50,3 +50,71 @@ func NewMatrixParallel(n int, dist DistFunc, workers int) *Matrix {
 	wg.Wait()
 	return m
 }
+
+// NewMatrixParallelFrom computes the matrix NewMatrixParallel(n, dist,
+// workers) would, but copies entry (i, j) from prev — bit-identically, no
+// recomputation — whenever both endpoints lie inside prev's point range and
+// neither is marked dirty. dirty is indexed by prev's points and marks the
+// rows/columns whose underlying data changed since prev was built; points
+// at or beyond prev.Len() are always recomputed. prev must have been built
+// over the same dist semantics (clean entries are trusted verbatim).
+func NewMatrixParallelFrom(n int, prev *Matrix, dirty []bool, dist DistFunc, workers int) *Matrix {
+	if prev == nil {
+		return NewMatrixParallel(n, dist, workers)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pn := prev.n
+	if len(dirty) < pn {
+		pn = len(dirty)
+	}
+	m := &Matrix{n: n, data: make([]float64, n*(n-1)/2)}
+	if n < 2 {
+		return m
+	}
+	fill := func(i int) {
+		base := i*(2*n-i-1)/2 - i // offset of pair (i, i+1)
+		if i < pn && !dirty[i] {
+			pbase := i*(2*prev.n-i-1)/2 - i
+			for j := i + 1; j < pn; j++ {
+				if dirty[j] {
+					m.data[base+j-1] = dist(i, j)
+				} else {
+					m.data[base+j-1] = prev.data[pbase+j-1]
+				}
+			}
+			for j := pn; j < n; j++ {
+				m.data[base+j-1] = dist(i, j)
+			}
+			return
+		}
+		for j := i + 1; j < n; j++ {
+			m.data[base+j-1] = dist(i, j)
+		}
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fill(i)
+		}
+		return m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fill(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
